@@ -1,0 +1,52 @@
+"""Benchmark configuration.
+
+Every benchmark prints the reproduced figure/table (so ``pytest benchmarks/
+--benchmark-only`` output can be compared against the paper) and registers
+one representative timing with pytest-benchmark.
+
+Scale is controlled by the ``REPRO_BENCH_SCALE`` environment variable:
+
+* ``ci`` — small and fast (minutes); the default.
+* ``paper`` — the paper's dataset sizes (100,000-record synthetic tables;
+  larger census sample); substantially slower.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+_SCALES = {
+    "ci": {
+        "records": 30_000,
+        "queries": 50,
+        "census_records": 30_000,
+        "rtree_records": 8_000,
+        "rtree_queries": 10,
+    },
+    "paper": {
+        "records": 100_000,
+        "queries": 100,
+        "census_records": 100_000,
+        "rtree_records": 20_000,
+        "rtree_queries": 20,
+    },
+}
+
+
+@pytest.fixture(scope="session")
+def scale() -> dict:
+    """Benchmark scale parameters chosen via REPRO_BENCH_SCALE."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "ci")
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+def print_result(result) -> None:
+    """Print a reproduced figure/table with surrounding whitespace."""
+    print()
+    print(result.format())

@@ -1,0 +1,31 @@
+"""Figure 1: R-tree query cost versus percent missing data.
+
+Regenerates the paper's motivating series: normalized query cost of a
+sentinel-mapped R-tree over 2-D data as the missing-data rate sweeps 0-50%,
+at 25% global selectivity under missing-is-a-match semantics.
+
+Paper shape: dramatic super-linear degradation (23x at 10% missing on the
+authors' disk-resident testbed).  In-memory the blow-up is bounded by
+``2**k`` subqueries times full-tree traversal, so expect a smaller but
+clearly super-unit, monotonically growing factor.
+"""
+
+from conftest import print_result
+
+from repro.experiments.fig1 import run_fig1
+
+
+def test_fig1_rtree_degradation(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig1,
+        kwargs={
+            "num_records": scale["rtree_records"],
+            "num_queries": scale["rtree_queries"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    normalized = result.column("normalized_accesses")
+    assert normalized[0] == 1.0
+    assert normalized[-1] > normalized[1] > 1.0

@@ -1,0 +1,33 @@
+"""Figure 4(a): index size versus attribute cardinality (10% missing).
+
+Paper shape: BEE raw size linear in C with WAH recovering most of it at
+high cardinality; BRE barely compressed; the VA-file smallest, growing only
+with ``ceil(lg(C + 1))``.
+"""
+
+from conftest import print_result
+
+from repro.experiments.fig4 import run_fig4a
+
+
+def test_fig4a_size_vs_cardinality(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig4a,
+        kwargs={"num_records": scale["records"]},
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    bee_raw = result.column("bee_raw")
+    bee_wah = result.column("bee_wah")
+    bre_raw = result.column("bre_raw")
+    bre_wah = result.column("bre_wah")
+    vafile = result.column("vafile")
+    # BEE raw linear in cardinality; WAH recovers it at high cardinality.
+    assert bee_raw[-1] > 20 * bee_raw[0]
+    assert bee_wah[-1] < 0.6 * bee_raw[-1]
+    # BRE does not benefit from WAH.
+    assert bre_wah[-1] > 0.9 * bre_raw[-1]
+    # VA-file is the smallest index at every cardinality.
+    assert all(v < b for v, b in zip(vafile, bee_wah))
+    assert all(v < b for v, b in zip(vafile, bre_wah))

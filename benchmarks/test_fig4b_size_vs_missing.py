@@ -1,0 +1,29 @@
+"""Figure 4(b): index size versus percent missing data (cardinality 50).
+
+Paper shape: BEE-WAH shrinks as the missing rate grows (value bitmaps get
+sparser); BRE and the VA-file are flat; the VA-file is smallest.
+"""
+
+from conftest import print_result
+
+from repro.experiments.fig4 import run_fig4b
+
+
+def test_fig4b_size_vs_missing(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig4b,
+        kwargs={"num_records": scale["records"]},
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    bee_wah = result.column("bee_wah")
+    bre_wah = result.column("bre_wah")
+    vafile = result.column("vafile")
+    # BEE-WAH strictly shrinks as missing grows.
+    assert all(a > b for a, b in zip(bee_wah, bee_wah[1:]))
+    # VA-file is exactly flat and smallest.
+    assert len(set(vafile)) == 1
+    assert all(v < b for v, b in zip(vafile, bre_wah))
+    # BRE is ~flat (within 5%).
+    assert max(bre_wah) - min(bre_wah) < 0.05 * max(bre_wah)

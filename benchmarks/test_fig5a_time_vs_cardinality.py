@@ -1,0 +1,37 @@
+"""Figure 5(a): query execution time versus attribute cardinality.
+
+100 queries at 1% global selectivity over 8-attribute search keys with 10%
+missing data, sweeping cardinality over {2, 5, 10, 20, 50, 100}.
+
+Paper shape: BEE cost grows with cardinality (its bitmap count tracks
+``AS * C``); BRE and the VA-file stay ~flat, with BRE cheapest.  Compare
+techniques on the ``*_words`` cost-model columns; wall-clock mixes
+Python-loop bitmap operations with numpy-vectorized VA scans (see
+EXPERIMENTS.md).
+"""
+
+from conftest import print_result
+
+from repro.experiments.fig5 import run_fig5a
+
+
+def test_fig5a_time_vs_cardinality(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig5a,
+        kwargs={
+            "num_records": scale["records"],
+            "num_queries": scale["queries"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    bee_words = result.column("bee_words")
+    bre_words = result.column("bre_words")
+    va_words = result.column("va_words")
+    # BEE grows with cardinality; BRE ~flat.
+    assert bee_words[-1] > 3 * bee_words[0]
+    assert bre_words[-1] < 2.5 * bre_words[0]
+    # BRE is the cheapest technique at high cardinality.
+    assert bre_words[-1] < bee_words[-1]
+    assert bre_words[-1] < va_words[-1]

@@ -1,0 +1,36 @@
+"""Figure 5(c): query execution time versus query dimensionality.
+
+100 queries at 1% global selectivity over cardinality-10 attributes with
+30% missing data, sweeping the search-key width k over {2..16}.
+
+Paper shape: every technique is linear in k — the headline scalability
+claim versus hierarchical indexes — with BRE's slope smallest and BEE's
+largest.
+"""
+
+from conftest import print_result
+
+from repro.experiments.fig5 import run_fig5c
+
+
+def test_fig5c_time_vs_dimensionality(benchmark, scale):
+    result = benchmark.pedantic(
+        run_fig5c,
+        kwargs={
+            "num_records": scale["records"],
+            "num_queries": scale["queries"],
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    ks = result.xs()
+    for column in ("bee_words", "bre_words", "va_words"):
+        values = result.column(column)
+        # Linear in k: doubling k at the top of the sweep costs ~2x, far
+        # from the 2**k blow-up of the hierarchical alternatives.
+        ratio = values[-1] / values[len(values) // 2 - 1]
+        k_ratio = ks[-1] / ks[len(ks) // 2 - 1]
+        assert ratio < 1.8 * k_ratio, column
+    # Slopes: BRE < VA in cost-model units at the widest key.
+    assert result.column("bre_words")[-1] < result.column("va_words")[-1]

@@ -1,0 +1,56 @@
+"""Section 4.2: the extra missing-value bitmap is cheap after WAH.
+
+The paper argues that adding ``B_{i,0}`` per attribute is affordable: a
+missing bitmap at ~1% density compresses to ~0.47 of its raw size, and
+overall the dataset's compression ratio *improves* because the value
+bitmaps of rows with missing data get sparser.
+"""
+
+import numpy as np
+from conftest import print_result
+
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitvector.wah import WahBitVector
+from repro.dataset.synthetic import generate_uniform_table
+from repro.experiments.harness import ExperimentResult
+
+
+def _measure(num_records: int) -> ExperimentResult:
+    result = ExperimentResult(
+        "Sec. 4.2 - cost of the extra missing-value bitmap "
+        f"(n={num_records})",
+        "metric",
+        ["value"],
+    )
+    rng = np.random.default_rng(42)
+    sparse = rng.random(num_records) < 0.01
+    ratio = WahBitVector.from_bools(sparse).compression_ratio()
+    result.add_row("missing_bitmap_ratio_at_1pct", ratio)
+
+    complete = generate_uniform_table(
+        num_records, {"a": 100}, {"a": 0.0}, seed=1
+    )
+    with_missing = generate_uniform_table(
+        num_records, {"a": 100}, {"a": 0.01}, seed=1
+    )
+    size_complete = EqualityEncodedBitmapIndex(complete, codec="wah").nbytes()
+    size_missing = EqualityEncodedBitmapIndex(with_missing, codec="wah").nbytes()
+    result.add_row("bee_wah_bytes_complete", float(size_complete))
+    result.add_row("bee_wah_bytes_with_1pct_missing", float(size_missing))
+    result.add_row("overhead_fraction", size_missing / size_complete - 1.0)
+    result.notes.append(
+        "paper: ~0.47 ratio for the 1%-density missing bitmap; overall "
+        "dataset compression improves with missing data"
+    )
+    return result
+
+
+def test_missing_bitmap_overhead(benchmark, scale):
+    result = benchmark.pedantic(
+        _measure, args=(scale["records"],), rounds=1, iterations=1
+    )
+    print_result(result)
+    ratio = dict(zip(result.xs(), result.column("value")))
+    assert 0.40 <= ratio["missing_bitmap_ratio_at_1pct"] <= 0.55
+    # The extra bitmap costs only a few percent of the index.
+    assert ratio["overhead_fraction"] < 0.05

@@ -1,0 +1,76 @@
+"""Point queries: equality encoding's home turf.
+
+Section 4.2: "Bitmap Equality Encoded are optimal for point queries" — one
+value bitmap (plus the missing bitmap under missing-is-a-match) per
+dimension, versus BRE's up to 3 and the VA-file's full scan.  Fig. 5(b)
+also notes BEE beats BRE exactly when the range degenerates to a point.
+"""
+
+from conftest import print_result
+
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.bitvector.ops import OpCounter
+from repro.dataset.synthetic import generate_uniform_table
+from repro.experiments.harness import ExperimentResult
+from repro.query.model import MissingSemantics
+from repro.query.workload import WorkloadGenerator
+from repro.vafile.vafile import VAFile, VaQueryStats
+
+
+def _measure(num_records: int, num_queries: int) -> ExperimentResult:
+    names = [f"q{i}" for i in range(4)]
+    table = generate_uniform_table(
+        num_records, {n: 20 for n in names}, {n: 0.2 for n in names}, seed=19
+    )
+    queries = WorkloadGenerator(table, seed=20).point_queries(names, num_queries)
+    result = ExperimentResult(
+        f"Point queries - 4-dim keys, C=20, 20% missing "
+        f"(n={num_records}, {num_queries} queries)",
+        "technique",
+        ["bitmaps_per_query", "words_processed"],
+    )
+    for label, index in (
+        ("bee", EqualityEncodedBitmapIndex(table, codec="wah")),
+        ("bre", RangeEncodedBitmapIndex(table, codec="wah")),
+        ("bie", IntervalEncodedBitmapIndex(table, codec="wah")),
+    ):
+        counter = OpCounter()
+        for query in queries:
+            index.execute(query, MissingSemantics.IS_MATCH, counter)
+        result.add_row(
+            label,
+            counter.bitmaps_touched / num_queries,
+            float(counter.words_processed),
+        )
+    va = VAFile(table)
+    counter = OpCounter()
+    stats = VaQueryStats()
+    for query in queries:
+        va.execute_ids(query, MissingSemantics.IS_MATCH, stats, counter)
+    result.add_row("vafile", 0.0, float(counter.words_processed))
+    result.notes.append(
+        "paper: equality encoding is optimal for point queries "
+        "(2 bitvectors per dimension under missing-is-a-match)"
+    )
+    return result
+
+
+def test_point_queries(benchmark, scale):
+    result = benchmark.pedantic(
+        _measure,
+        args=(scale["records"], scale["queries"]),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    rows = {row[0]: row[1:] for row in result.rows}
+    # BEE reads exactly 2 bitvectors per dimension (value + missing).
+    assert rows["bee"][0] == 2 * 4
+    # That is no more than BRE or BIE read for point queries.
+    assert rows["bee"][0] <= rows["bre"][0]
+    assert rows["bee"][0] <= rows["bie"][0]
+    # And BEE's sparse value bitmaps make it cheapest in words too.
+    assert rows["bee"][1] < rows["bre"][1]
+    assert rows["bee"][1] < rows["vafile"][1]

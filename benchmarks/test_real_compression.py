@@ -1,0 +1,31 @@
+"""Section 5.2: WAH compression ratios on the census-like dataset.
+
+Paper numbers: BEE overall ratio ~0.17 (23 of 48 attributes below 0.1);
+BRE overall ~0.70 (18 attributes below 0.5, only 3 not compressing at all);
+attributes with >90% missing data compress to 0.01-0.09 (BEE) and
+0.11-0.44 (BRE).
+"""
+
+from conftest import print_result
+
+from repro.experiments.realdata import run_real_compression
+
+
+def test_real_compression(benchmark, scale):
+    result, report = benchmark.pedantic(
+        run_real_compression,
+        kwargs={"num_records": scale["census_records"]},
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    # Ordering and bands (absolute values depend on the synthetic skew; the
+    # qualitative Section 5.2 claims must hold).
+    assert report.overall_bee_ratio < report.overall_bre_ratio
+    assert report.overall_bee_ratio < 0.45
+    assert report.overall_bre_ratio < 1.05
+    # The 8 high-missing attributes compress dramatically under BEE.
+    assert len(report.high_missing_bee_ratios) == 8
+    assert max(report.high_missing_bee_ratios) < 0.25
+    # ...and less dramatically, but still clearly, under BRE.
+    assert max(report.high_missing_bre_ratios) < 0.75

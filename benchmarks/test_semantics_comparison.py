@@ -1,0 +1,42 @@
+"""Both query semantics side by side (Section 5.1 claim).
+
+The paper runs every experiment under both semantics but plots only
+missing-is-a-match "since the graphs look very similar in both scenarios".
+This bench regenerates Figure 5(b) under *both* semantics and verifies the
+similarity claim quantitatively.
+"""
+
+from conftest import print_result
+
+from repro.experiments.fig5 import run_fig5b
+from repro.query.model import MissingSemantics
+
+
+def test_semantics_produce_similar_graphs(benchmark, scale):
+    def run_both():
+        match = run_fig5b(
+            num_records=scale["records"],
+            num_queries=max(10, scale["queries"] // 2),
+            semantics=MissingSemantics.IS_MATCH,
+        )
+        match.title += " [missing IS a match]"
+        not_match = run_fig5b(
+            num_records=scale["records"],
+            num_queries=max(10, scale["queries"] // 2),
+            semantics=MissingSemantics.NOT_MATCH,
+        )
+        not_match.title += " [missing NOT a match]"
+        return match, not_match
+
+    match, not_match = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print_result(match)
+    print_result(not_match)
+    # "The graphs look very similar in both scenarios": same shapes, and
+    # per-point work within a small factor for the bounded encodings.
+    for column in ("bre_words", "va_words"):
+        for a, b in zip(match.column(column), not_match.column(column)):
+            assert 0.4 < a / b < 2.5, column
+    # BEE's falling-with-missing trend holds under both semantics.
+    for result in (match, not_match):
+        bitmaps = result.column("bee_bitmaps")
+        assert bitmaps[-1] < bitmaps[0]

@@ -1,0 +1,71 @@
+"""Space-partitioning degradation under missing data (Section 1 claim).
+
+The paper asserts — without plotting it — that space-partitioning indexes
+"would also suffer from the same weaknesses" as hierarchical ones.  This
+bench runs the Figure 1 protocol against a grid file: identical 2-D
+datasets at increasing missing rates, the same 25%-selectivity queries,
+missing-is-a-match semantics.
+"""
+
+from conftest import print_result
+
+from repro.baselines.gridfile import GridFileIndex, GridQueryStats
+from repro.dataset.synthetic import generate_uniform_table
+from repro.experiments.harness import ExperimentResult
+from repro.query.model import MissingSemantics
+from repro.query.workload import WorkloadGenerator
+
+
+def _measure(num_records: int, num_queries: int) -> ExperimentResult:
+    cardinality = 100
+    complete = generate_uniform_table(
+        num_records, {"x": cardinality, "y": cardinality},
+        {"x": 0.0, "y": 0.0}, seed=25,
+    )
+    queries = WorkloadGenerator(complete, seed=26).workload(
+        ["x", "y"], 0.25, num_queries, MissingSemantics.IS_MATCH
+    )
+    result = ExperimentResult(
+        f"Sec. 1 claim - grid-file cost vs % missing (2-D, GS=25%, "
+        f"n={num_records})",
+        "% missing",
+        ["records_inspected", "normalized", "cells_visited", "subqueries"],
+    )
+    baseline = None
+    for pct in (0, 10, 20, 30, 40, 50):
+        table = generate_uniform_table(
+            num_records, {"x": cardinality, "y": cardinality},
+            {"x": pct / 100.0, "y": pct / 100.0}, seed=25 + pct,
+        )
+        grid = GridFileIndex(table, strips_per_dim=16)
+        stats = GridQueryStats()
+        for query in queries:
+            grid.execute_ids(query, MissingSemantics.IS_MATCH, stats)
+        if baseline is None:
+            baseline = stats.records_inspected
+        result.add_row(
+            pct,
+            float(stats.records_inspected),
+            stats.records_inspected / baseline,
+            float(stats.cells_visited),
+            stats.subqueries / stats.queries,
+        )
+    result.notes.append(
+        "paper Sec. 1: space partitioning 'would also suffer from the same "
+        "weaknesses' - records collapse onto sentinel slabs"
+    )
+    return result
+
+
+def test_space_partitioning_degradation(benchmark, scale):
+    result = benchmark.pedantic(
+        _measure,
+        args=(scale["rtree_records"], scale["rtree_queries"]),
+        rounds=1,
+        iterations=1,
+    )
+    print_result(result)
+    normalized = result.column("normalized")
+    assert normalized[0] == 1.0
+    assert normalized[-1] > normalized[2] > 1.0
+    assert result.column("subqueries")[-1] == 4.0

@@ -1,0 +1,64 @@
+"""Table 7: dataset composition for the synthetic and census-like data.
+
+Regenerates both datasets (down-scaled row counts; the column grids are
+exact) and prints their composition alongside the paper's headline numbers.
+"""
+
+from conftest import print_result
+
+from repro.dataset.census import generate_census_like
+from repro.dataset.stats import summarize
+from repro.dataset.synthetic import generate_synthetic
+from repro.experiments.harness import ExperimentResult
+
+
+def _summary_result(title: str, summary: dict, notes: list[str]) -> ExperimentResult:
+    result = ExperimentResult(title, "statistic", ["value"])
+    for key, value in summary.items():
+        result.add_row(key, value)
+    result.notes.extend(notes)
+    return result
+
+
+def test_table7_synthetic(benchmark, scale):
+    table = benchmark.pedantic(
+        generate_synthetic,
+        kwargs={"num_records": max(2000, scale["records"] // 10)},
+        rounds=1,
+        iterations=1,
+    )
+    summary = summarize(table)
+    print_result(
+        _summary_result(
+            "Table 7 (left) - synthetic dataset composition",
+            summary,
+            ["paper: 450 attributes, card {2,5,10,20,50,100}, "
+             "missing {10..50}%, 100,000 records"],
+        )
+    )
+    assert summary["num_attributes"] == 450
+    assert summary["min_cardinality"] == 2
+    assert summary["max_cardinality"] == 100
+    assert 28 < summary["avg_missing_pct"] < 32
+
+
+def test_table7_census(benchmark, scale):
+    table = benchmark.pedantic(
+        generate_census_like,
+        kwargs={"num_records": scale["census_records"]},
+        rounds=1,
+        iterations=1,
+    )
+    summary = summarize(table)
+    print_result(
+        _summary_result(
+            "Table 7 (right) - census-like dataset composition",
+            summary,
+            ["paper: 48 attributes, card 2-165 (avg 37), "
+             "missing 0-98.5% (avg 41%), 463,733 records"],
+        )
+    )
+    assert summary["num_attributes"] == 48
+    assert 2 <= summary["min_cardinality"]
+    assert summary["max_cardinality"] <= 165
+    assert summary["max_missing_pct"] > 90

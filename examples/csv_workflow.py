@@ -1,0 +1,76 @@
+"""From raw CSV (with empty cells) to indexed queries and decoded answers.
+
+Real incomplete data rarely arrives pre-coded: this walkthrough ingests a
+CSV with blank/NA cells, lets the library dictionary-encode it into the
+paper's integer domains, indexes it, queries under both missing-data
+semantics, and decodes the answers back to the raw values.
+
+Run with::
+
+    python examples/csv_workflow.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import IncompleteDatabase, MissingSemantics, read_csv
+
+RAW_CSV = """\
+patient,smoker,age_band,cholesterol_band
+p001,yes,40-49,high
+p002,no,30-39,
+p003,,50-59,normal
+p004,no,,borderline
+p005,yes,50-59,high
+p006,no,40-49,normal
+p007,,60-69,high
+p008,yes,30-39,borderline
+"""
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "patients.csv"
+        path.write_text(RAW_CSV)
+        table, dictionaries = read_csv(path)
+
+    print(
+        f"loaded {table.num_records} records, "
+        f"{table.schema.dimensionality} attributes"
+    )
+    for spec in table.schema:
+        print(
+            f"  {spec.name}: C={spec.cardinality}, "
+            f"{table.missing_fraction(spec.name):.0%} missing, "
+            f"values={list(dictionaries[spec.name])}"
+        )
+
+    db = IncompleteDatabase(table)
+    db.create_index("ix", "bee")  # point-ish categorical queries -> BEE
+
+    # "Smokers with high cholesterol" — two interpretations of the blanks.
+    smoker_code = dictionaries["smoker"].encode_value("yes")
+    high_code = dictionaries["cholesterol_band"].encode_value("high")
+    bounds = {
+        "smoker": (smoker_code, smoker_code),
+        "cholesterol_band": (high_code, high_code),
+    }
+    definite = db.query(bounds, MissingSemantics.NOT_MATCH)
+    possible = db.query(bounds, MissingSemantics.IS_MATCH)
+
+    patients = dictionaries["patient"]
+    patient_codes = table.column("patient")
+
+    def names(ids):
+        return [patients.decode_value(int(patient_codes[i])) for i in ids]
+
+    print(f"\ndefinitely smokers with high cholesterol: {names(definite.record_ids)}")
+    print(f"possibly  smokers with high cholesterol: {names(possible.record_ids)}")
+    print(
+        "\n(the 'possibly' set keeps records whose smoker or cholesterol "
+        "answer is blank - the paper's missing-is-a-match semantics)"
+    )
+
+
+if __name__ == "__main__":
+    main()

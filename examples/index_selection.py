@@ -1,0 +1,87 @@
+"""Choosing an index: size/time trade-offs and the Section 6 advisor.
+
+Builds every index this library offers over the same incomplete table,
+reports each one's size and per-query work, cross-checks that they all
+return identical answers, and asks the advisor to rank the paper's three
+techniques for two different workloads.
+
+Run with::
+
+    python examples/index_selection.py
+"""
+
+import time
+
+import numpy as np
+
+from repro import (
+    IncompleteDatabase,
+    MissingSemantics,
+    WorkloadGenerator,
+    WorkloadProfile,
+    generate_uniform_table,
+    recommend,
+)
+
+KINDS = ("bee", "bre", "vafile", "mosaic", "rtree-sentinel", "bitstring")
+
+
+def index_size(attached) -> int | None:
+    """Serialized/steady-state size where the index defines one."""
+    index = attached.index
+    if hasattr(index, "nbytes"):
+        return index.nbytes()
+    return None
+
+
+def main() -> None:
+    table = generate_uniform_table(
+        20_000,
+        {"a": 20, "b": 50, "c": 10},
+        {"a": 0.25, "b": 0.10, "c": 0.40},
+        seed=3,
+    )
+    db = IncompleteDatabase(table)
+    for kind in KINDS:
+        db.create_index(kind, kind, ["a", "b", "c"])
+
+    workload = WorkloadGenerator(table, seed=9)
+    queries = workload.workload(["a", "b", "c"], 0.02, 20)
+
+    print(f"{'index':>15}  {'size':>10}  {'20 queries':>11}  matches")
+    reference = None
+    for kind in KINDS:
+        attached = db.get_index(kind)
+        start = time.perf_counter()
+        results = [
+            np.sort(db.query(q, MissingSemantics.IS_MATCH, using=kind).record_ids)
+            for q in queries
+        ]
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        if reference is None:
+            reference = results
+        else:
+            assert all(
+                np.array_equal(a, b) for a, b in zip(reference, results)
+            ), f"{kind} disagrees with the reference answers!"
+        size = index_size(attached)
+        size_text = f"{size / 1024:.0f} KiB" if size is not None else "-"
+        total = sum(len(r) for r in results)
+        print(f"{kind:>15}  {size_text:>10}  {elapsed_ms:>9.1f}ms  {total}")
+
+    print("\nall six access methods returned identical answers\n")
+
+    print("advisor ranking for a range-heavy workload:")
+    for rec in recommend(table, WorkloadProfile(typical_attribute_selectivity=0.3)):
+        print(f"  {rec.kind:<7} score {rec.score:.1f}  - {rec.reasons[0]}")
+
+    print("\nadvisor ranking for a point-query workload under a memory budget:")
+    profile = WorkloadProfile(
+        point_query_fraction=0.9, memory_budget_bytes=64_000
+    )
+    for rec in recommend(table, profile):
+        print(f"  {rec.kind:<7} score {rec.score:.1f}  - {rec.reasons[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+"""Index files, boolean predicates, and a living dataset.
+
+Shows the library's production features around the paper's core: build a
+WAH bitmap index, save it as an index file, reload it without the base
+table, answer arbitrary AND/OR/NOT predicates, then keep the index current
+through appends, deletes, and compaction.
+
+Run with::
+
+    python examples/persistence_and_updates.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import MissingSemantics, RangeQuery, generate_uniform_table
+from repro.bitmap import RangeEncodedBitmapIndex
+from repro.dataset.table import concat_tables
+from repro.query import Atom
+from repro.storage import load_bitmap_index_file, save_bitmap_index
+
+
+def main() -> None:
+    table = generate_uniform_table(
+        50_000,
+        {"status": 4, "region": 12, "score": 100},
+        {"status": 0.05, "region": 0.15, "score": 0.30},
+        seed=8,
+    )
+
+    index = RangeEncodedBitmapIndex(table, codec="wah")
+    report = index.size_report()
+    print(
+        f"built range-encoded WAH index over {index.num_records} records: "
+        f"{report.total_bytes / 1024:.0f} KiB "
+        f"(ratio {report.compression_ratio:.2f})"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "orders.rpix"
+        size = save_bitmap_index(index, path)
+        print(f"saved index file: {path.name}, {size / 1024:.0f} KiB")
+        # Index files are self-contained: reload and query without the table.
+        index = load_bitmap_index_file(path)
+
+    # Boolean predicate: active-or-pending orders in region 3..5 whose score
+    # is NOT in the poor band — with missing scores kept as possibilities.
+    predicate = (
+        Atom.of("status", 1, 2)
+        & Atom.of("region", 3, 5)
+        & ~Atom.of("score", 1, 20)
+    )
+    possible = index.execute_predicate_ids(predicate, MissingSemantics.IS_MATCH)
+    definite = index.execute_predicate_ids(predicate, MissingSemantics.NOT_MATCH)
+    print(
+        f"predicate matches: {len(possible)} possible / {len(definite)} definite"
+    )
+
+    # The dataset keeps growing: append a fresh batch.
+    batch = generate_uniform_table(
+        5_000,
+        {"status": 4, "region": 12, "score": 100},
+        {"status": 0.05, "region": 0.15, "score": 0.30},
+        seed=9,
+    )
+    index.append(batch)
+    table = concat_tables(table, batch)
+    print(f"appended {batch.num_records} records -> {index.num_records} total")
+
+    # Retention policy: drop everything in status 4 ("cancelled").
+    cancelled = index.execute_ids(
+        RangeQuery.from_bounds({"status": (4, 4)}), MissingSemantics.NOT_MATCH
+    )
+    index.delete(cancelled)
+    print(
+        f"tombstoned {index.deleted_count} cancelled orders; "
+        f"queries now skip them"
+    )
+    count = index.execute_count(
+        RangeQuery.from_bounds({"status": (1, 4)}), MissingSemantics.NOT_MATCH
+    )
+    print(f"alive orders with a status: {count}")
+
+    # Reclaim the space; record ids shift, the mapping keeps them traceable.
+    mapping = index.compact()
+    print(
+        f"compacted to {index.num_records} records "
+        f"(old id of new record 0: {mapping[0]})"
+    )
+
+
+if __name__ == "__main__":
+    main()

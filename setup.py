@@ -1,0 +1,10 @@
+"""Thin setup shim.
+
+Kept alongside pyproject.toml so ``pip install -e . --no-use-pep517`` works
+in offline environments where the ``wheel`` package is unavailable (legacy
+editable installs do not need to build a wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""Baseline access methods: sequential scan, B+-trees, MOSAIC, R-trees."""
+
+from repro.baselines.bitstring import BitstringAugmentedIndex, BitstringQueryStats
+from repro.baselines.bptree import BPlusTree
+from repro.baselines.gridfile import GridFileIndex, GridQueryStats
+from repro.baselines.mosaic import MosaicIndex, MosaicStats
+from repro.baselines.rtree import RTree
+from repro.baselines.sentinel_rtree import (
+    SENTINEL,
+    RTreeQueryStats,
+    SentinelRTreeIndex,
+)
+from repro.baselines.seqscan import ScanStats, SequentialScan
+
+__all__ = [
+    "BPlusTree",
+    "BitstringAugmentedIndex",
+    "BitstringQueryStats",
+    "GridFileIndex",
+    "GridQueryStats",
+    "MosaicIndex",
+    "MosaicStats",
+    "RTree",
+    "RTreeQueryStats",
+    "SENTINEL",
+    "ScanStats",
+    "SentinelRTreeIndex",
+    "SequentialScan",
+]

@@ -1,0 +1,223 @@
+"""An in-memory B+-tree mapping integer keys to record-id postings.
+
+This is the substrate for MOSAIC (Ooi, Goh, Tan [12]): one B+-tree per
+attribute, keyed by the coded attribute value (0 = the distinguished missing
+value).  Duplicate keys are handled with per-key posting lists in the
+leaves; leaves are chained for range scans.
+
+The implementation is a textbook B+-tree (order ``max_keys``): internal
+nodes hold separator keys and children, leaves hold sorted keys plus posting
+lists.  ``node_accesses`` counts every node visited, which stands in for the
+page reads a disk-resident tree would issue.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.errors import IndexBuildError
+
+
+class _Node:
+    __slots__ = ("keys", "children", "postings", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: list[int] = []
+        self.children: list[_Node] = []  # internal nodes only
+        self.postings: list[list[int]] = []  # leaves only
+        self.next_leaf: _Node | None = None  # leaves only
+
+
+class BPlusTree:
+    """A B+-tree over integer keys with duplicate support.
+
+    Parameters
+    ----------
+    max_keys:
+        Maximum keys per node before a split (the tree's order); must be >= 3.
+    """
+
+    def __init__(self, max_keys: int = 32):
+        if max_keys < 3:
+            raise IndexBuildError(f"max_keys must be >= 3, got {max_keys}")
+        self._max_keys = max_keys
+        self._root = _Node(is_leaf=True)
+        self._num_keys = 0
+        self._num_entries = 0
+        #: Nodes visited by searches since construction (reset freely).
+        self.node_accesses = 0
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, key: int, record_id: int) -> None:
+        """Insert one ``(key, record_id)`` pair."""
+        split = self._insert_into(self._root, key, record_id)
+        if split is not None:
+            sep_key, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [sep_key]
+            new_root.children = [self._root, right]
+            self._root = new_root
+        self._num_entries += 1
+
+    def _insert_into(self, node: _Node, key: int, record_id: int):
+        if node.is_leaf:
+            idx = _lower_bound(node.keys, key)
+            if idx < len(node.keys) and node.keys[idx] == key:
+                node.postings[idx].append(record_id)
+            else:
+                node.keys.insert(idx, key)
+                node.postings.insert(idx, [record_id])
+                self._num_keys += 1
+            if len(node.keys) > self._max_keys:
+                return self._split_leaf(node)
+            return None
+        idx = _upper_bound(node.keys, key)
+        split = self._insert_into(node.children[idx], key, record_id)
+        if split is not None:
+            sep_key, right = split
+            node.keys.insert(idx, sep_key)
+            node.children.insert(idx + 1, right)
+            if len(node.keys) > self._max_keys:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.postings = node.postings[mid:]
+        node.keys = node.keys[:mid]
+        node.postings = node.postings[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        sep_key = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return sep_key, right
+
+    # -- search ----------------------------------------------------------------
+
+    def _descend_to_leaf(self, key: int) -> _Node:
+        node = self._root
+        self.node_accesses += 1
+        while not node.is_leaf:
+            idx = _upper_bound(node.keys, key)
+            node = node.children[idx]
+            self.node_accesses += 1
+        return node
+
+    def search(self, key: int) -> list[int]:
+        """Record ids for an exact key (empty list when absent)."""
+        leaf = self._descend_to_leaf(key)
+        idx = _lower_bound(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return list(leaf.postings[idx])
+        return []
+
+    def range_search(self, lo: int, hi: int) -> list[int]:
+        """Record ids for all keys in ``[lo, hi]`` (unsorted, concatenated)."""
+        if hi < lo:
+            return []
+        results: list[int] = []
+        leaf = self._descend_to_leaf(lo)
+        idx = _lower_bound(leaf.keys, lo)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                if leaf.keys[idx] > hi:
+                    return results
+                results.extend(leaf.postings[idx])
+                idx += 1
+            leaf = leaf.next_leaf
+            idx = 0
+            if leaf is not None:
+                self.node_accesses += 1
+        return results
+
+    def items(self) -> Iterator[tuple[int, list[int]]]:
+        """All ``(key, postings)`` pairs in key order."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.postings)
+            node = node.next_leaf
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def num_keys(self) -> int:
+        """Distinct keys stored."""
+        return self._num_keys
+
+    @property
+    def num_entries(self) -> int:
+        """Total ``(key, record)`` pairs stored."""
+        return self._num_entries
+
+    def height(self) -> int:
+        """Tree height (1 for a lone leaf)."""
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def check_invariants(self) -> None:
+        """Assert structural invariants; used by property-based tests."""
+        self._check_node(self._root, None, None, is_root=True)
+        # Leaf chain must visit every key in ascending order.
+        keys = [key for key, _ in self.items()]
+        if keys != sorted(keys):
+            raise AssertionError("leaf chain out of order")
+        if len(keys) != self._num_keys:
+            raise AssertionError(
+                f"leaf chain has {len(keys)} keys, expected {self._num_keys}"
+            )
+
+    def _check_node(self, node: _Node, lo, hi, *, is_root: bool = False) -> int:
+        if node.keys != sorted(node.keys):
+            raise AssertionError("node keys out of order")
+        if len(node.keys) > self._max_keys:
+            raise AssertionError("node overflow")
+        if not is_root and len(node.keys) < 1:
+            raise AssertionError("non-root node is empty")
+        for key in node.keys:
+            if lo is not None and key < lo:
+                raise AssertionError("key below subtree bound")
+            if hi is not None and key >= hi:
+                raise AssertionError("key above subtree bound")
+        if node.is_leaf:
+            if len(node.postings) != len(node.keys):
+                raise AssertionError("posting/key count mismatch")
+            return 1
+        if len(node.children) != len(node.keys) + 1:
+            raise AssertionError("child/key count mismatch")
+        depths = set()
+        bounds = [lo, *node.keys, hi]
+        for child, (clo, chi) in zip(node.children, zip(bounds, bounds[1:])):
+            depths.add(self._check_node(child, clo, chi))
+        if len(depths) != 1:
+            raise AssertionError("unbalanced subtree depths")
+        return depths.pop() + 1
+
+
+def _lower_bound(keys: list[int], key: int) -> int:
+    import bisect
+
+    return bisect.bisect_left(keys, key)
+
+
+def _upper_bound(keys: list[int], key: int) -> int:
+    import bisect
+
+    return bisect.bisect_right(keys, key)

@@ -1,0 +1,21 @@
+"""Bitmap indexes for incomplete data: equality (BEE) and range (BRE) encodings."""
+
+from repro.bitmap.alternatives import FlaggedRangeEncodedIndex, InlineMissingEqualityIndex
+from repro.bitmap.base import AttributeSizeReport, BitmapIndex, IndexSizeReport
+from repro.bitmap.bitsliced import BitSlicedIndex
+from repro.bitmap.equality import EqualityEncodedBitmapIndex, paper_example_column
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+
+__all__ = [
+    "AttributeSizeReport",
+    "BitSlicedIndex",
+    "BitmapIndex",
+    "EqualityEncodedBitmapIndex",
+    "FlaggedRangeEncodedIndex",
+    "IndexSizeReport",
+    "InlineMissingEqualityIndex",
+    "IntervalEncodedBitmapIndex",
+    "RangeEncodedBitmapIndex",
+    "paper_example_column",
+]

@@ -1,0 +1,435 @@
+"""Common machinery for bitmap indexes over incomplete tables.
+
+A bitmap index here covers a set of attributes of one
+:class:`~repro.dataset.table.IncompleteTable`.  For each indexed attribute it
+holds a family of bitvectors ``B_{i,j}`` (one per encoded value, plus the
+missing-value bitmap ``B_{i,0}`` when the attribute has missing data), all in
+a single codec (``none`` | ``wah`` | ``bbc``).
+
+Concrete encodings (:mod:`repro.bitmap.equality`,
+:mod:`repro.bitmap.range_encoded`) implement :meth:`BitmapIndex.evaluate_interval`;
+query execution ANDs the per-attribute interval results, exactly as in the
+paper's Section 4.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.bitvector.ops import OpCounter, big_and, make_bitvector
+from repro.dataset.table import IncompleteTable
+from repro.errors import DomainError, IndexBuildError, QueryError
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSizeReport:
+    """Size accounting for one attribute's bitmap family."""
+
+    attribute: str
+    num_bitmaps: int
+    compressed_bytes: int
+    verbatim_bytes: int
+
+    @property
+    def compression_ratio(self) -> float:
+        """Compressed over verbatim bytes; < 1 means compression helped."""
+        if self.verbatim_bytes == 0:
+            return 1.0
+        return self.compressed_bytes / self.verbatim_bytes
+
+
+@dataclass(frozen=True, slots=True)
+class IndexSizeReport:
+    """Size accounting for a whole bitmap index."""
+
+    per_attribute: tuple[AttributeSizeReport, ...]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total stored index size in bytes."""
+        return sum(r.compressed_bytes for r in self.per_attribute)
+
+    @property
+    def total_verbatim_bytes(self) -> int:
+        """Total size the same bitmaps would occupy uncompressed."""
+        return sum(r.verbatim_bytes for r in self.per_attribute)
+
+    @property
+    def compression_ratio(self) -> float:
+        """Overall compressed/verbatim ratio across all attributes."""
+        verbatim = self.total_verbatim_bytes
+        if verbatim == 0:
+            return 1.0
+        return self.total_bytes / verbatim
+
+
+class _AttributeBitmaps:
+    """The bitvector family ``B_{i,j}`` for one attribute."""
+
+    __slots__ = ("cardinality", "has_missing", "vectors", "nbits", "codec")
+
+    def __init__(
+        self,
+        cardinality: int,
+        has_missing: bool,
+        vectors: Mapping[int, object],
+        nbits: int,
+        codec: str,
+    ):
+        self.cardinality = cardinality
+        self.has_missing = has_missing
+        self.vectors = dict(vectors)
+        self.nbits = nbits
+        self.codec = codec
+
+    def bitmap(self, j: int):
+        """``B_{i,j}``; raises if the slot is not stored."""
+        try:
+            return self.vectors[j]
+        except KeyError:
+            raise QueryError(f"bitmap slot {j} not stored for this attribute")
+
+    def has_bitmap(self, j: int) -> bool:
+        return j in self.vectors
+
+    def nbytes(self) -> int:
+        return sum(vec.nbytes() for vec in self.vectors.values())
+
+
+class BitmapIndex(abc.ABC):
+    """Base class for equality- and range-encoded bitmap indexes.
+
+    Parameters
+    ----------
+    table:
+        The table to index.
+    attributes:
+        Attribute names to index; defaults to all schema attributes.
+    codec:
+        Bitvector codec: ``"wah"`` (paper default), ``"none"``, or ``"bbc"``.
+    """
+
+    #: Human-readable encoding name, set by subclasses.
+    encoding: str = "abstract"
+
+    def __init__(
+        self,
+        table: IncompleteTable,
+        attributes: Iterable[str] | None = None,
+        codec: str = "wah",
+    ):
+        if attributes is None:
+            attributes = table.schema.names
+        names = list(attributes)
+        if not names:
+            raise IndexBuildError("bitmap index requires at least one attribute")
+        self._codec = codec
+        self._nbits = table.num_records
+        self._deleted: np.ndarray | None = None
+        self._alive_cache = None
+        self._attrs: dict[str, _AttributeBitmaps] = {}
+        for name in names:
+            spec = table.schema.attribute(name)
+            column = table.column(name)
+            has_missing = bool((column == 0).any())
+            vectors = {
+                j: make_bitvector(bools, codec)
+                for j, bools in self._encode_column(
+                    column, spec.cardinality, has_missing
+                )
+            }
+            self._attrs[name] = _AttributeBitmaps(
+                spec.cardinality, has_missing, vectors, self._nbits, codec
+            )
+
+    # -- construction hooks --------------------------------------------------
+
+    @abc.abstractmethod
+    def _encode_column(
+        self, column: np.ndarray, cardinality: int, has_missing: bool
+    ) -> Iterable[tuple[int, np.ndarray]]:
+        """Yield ``(slot j, boolean column)`` pairs for one attribute."""
+
+    # -- interval evaluation ---------------------------------------------------
+
+    @abc.abstractmethod
+    def evaluate_interval(
+        self,
+        attribute: str,
+        interval: Interval,
+        semantics: MissingSemantics,
+        counter: OpCounter | None = None,
+    ):
+        """Evaluate ``v1 <= A_i <= v2`` under ``semantics``; returns a bitvector."""
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def codec(self) -> str:
+        """The bitvector codec in use."""
+        return self._codec
+
+    @property
+    def num_records(self) -> int:
+        """Number of records covered by every bitmap."""
+        return self._nbits
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """Indexed attribute names."""
+        return tuple(self._attrs)
+
+    def cardinality(self, attribute: str) -> int:
+        """Cardinality ``C_i`` of an indexed attribute."""
+        return self._family(attribute).cardinality
+
+    def has_missing(self, attribute: str) -> bool:
+        """Whether the attribute contained missing values at build time."""
+        return self._family(attribute).has_missing
+
+    def bitmap(self, attribute: str, j: int):
+        """Direct access to ``B_{i,j}`` (for tests and inspection)."""
+        return self._family(attribute).bitmap(j)
+
+    def num_bitmaps(self, attribute: str) -> int:
+        """Number of stored bitvectors for an attribute."""
+        return len(self._family(attribute).vectors)
+
+    def _family(self, attribute: str) -> _AttributeBitmaps:
+        try:
+            return self._attrs[attribute]
+        except KeyError:
+            raise QueryError(
+                f"attribute {attribute!r} is not covered by this {self.encoding} index"
+            )
+
+    def _check_interval(self, attribute: str, interval: Interval) -> None:
+        family = self._family(attribute)
+        if interval.hi > family.cardinality:
+            raise DomainError(
+                f"interval {interval} exceeds domain 1..{family.cardinality} "
+                f"of attribute {attribute!r}"
+            )
+
+    # -- query execution -------------------------------------------------------
+
+    def execute(
+        self,
+        query: RangeQuery,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        counter: OpCounter | None = None,
+    ):
+        """Answer a conjunctive range query; returns the result bitvector.
+
+        Per-attribute interval results are ANDed together, as in Section 4's
+        "range queries are executed by first ORing together all bit vectors
+        specified by each range in the search key and then ANDing the answers
+        together".  Tombstoned (deleted) records are masked out last.
+        """
+        partials = [
+            self.evaluate_interval(name, interval, semantics, counter)
+            for name, interval in query.items()
+        ]
+        result = big_and(partials, counter)
+        return self._mask_deleted(result, counter)
+
+    def _mask_deleted(self, result, counter: OpCounter | None):
+        if self._deleted is None:
+            return result
+        if self._alive_cache is None:
+            self._alive_cache = make_bitvector(~self._deleted, self._codec)
+        if counter is not None:
+            counter.record_binary(result, self._alive_cache)
+        return result & self._alive_cache
+
+    # -- deletes -----------------------------------------------------------------
+
+    def delete(self, record_ids) -> int:
+        """Tombstone records so no query returns them again.
+
+        Deletion is logical (a tombstone bitmap ANDed into every result),
+        the standard bitmap-index practice; :meth:`compact` reclaims the
+        space.  Returns the number of records newly deleted.
+        """
+        record_ids = np.asarray(record_ids, dtype=np.int64)
+        if len(record_ids) and (
+            record_ids.min() < 0 or record_ids.max() >= self._nbits
+        ):
+            raise QueryError(
+                f"record ids must be within 0..{self._nbits - 1}"
+            )
+        if self._deleted is None:
+            self._deleted = np.zeros(self._nbits, dtype=bool)
+        before = int(self._deleted.sum())
+        self._deleted[record_ids] = True
+        self._alive_cache = None
+        return int(self._deleted.sum()) - before
+
+    @property
+    def deleted_count(self) -> int:
+        """Number of tombstoned records."""
+        return 0 if self._deleted is None else int(self._deleted.sum())
+
+    def compact(self) -> np.ndarray:
+        """Physically drop tombstoned rows from every bitmap.
+
+        Record ids shift: returns the array mapping new ids to the old ids
+        they came from (``old_id = mapping[new_id]``), so callers can keep
+        any external references consistent.
+        """
+        if self._deleted is None or not self._deleted.any():
+            self._deleted = None
+            self._alive_cache = None
+            return np.arange(self._nbits, dtype=np.int64)
+        keep = ~self._deleted
+        mapping = np.flatnonzero(keep)
+        new_nbits = int(keep.sum())
+        for family in self._attrs.values():
+            family.vectors = {
+                slot: make_bitvector(vec.to_bools()[keep], self._codec)
+                for slot, vec in family.vectors.items()
+            }
+            family.nbits = new_nbits
+        self._nbits = new_nbits
+        self._deleted = None
+        self._alive_cache = None
+        return mapping
+
+    def execute_ids(
+        self,
+        query: RangeQuery,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        counter: OpCounter | None = None,
+    ) -> np.ndarray:
+        """Answer a query as a sorted array of record ids."""
+        return self.execute(query, semantics, counter).to_indices()
+
+    def execute_count(
+        self,
+        query: RangeQuery,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        counter: OpCounter | None = None,
+    ) -> int:
+        """Number of matching records, without materializing record ids.
+
+        COUNT queries are where bitmap indexes shine: the population count
+        runs on the (compressed) result vector directly.
+        """
+        return self.execute(query, semantics, counter).count()
+
+    def execute_predicate_ids(
+        self,
+        predicate,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        counter: OpCounter | None = None,
+    ) -> np.ndarray:
+        """Answer an arbitrary boolean predicate tree (AND/OR/NOT of atoms)."""
+        from repro.query.boolean import execute_on_bitmap_index
+
+        result = execute_on_bitmap_index(self, predicate, semantics, counter)
+        return self._mask_deleted(result, counter).to_indices()
+
+    # -- appends -----------------------------------------------------------------
+
+    def append(self, chunk: IncompleteTable) -> None:
+        """Append a batch of new records to every covered bitmap.
+
+        The chunk must carry (at least) every indexed attribute with
+        matching cardinality.  Each bitvector is extended with the chunk's
+        bits; new record ids continue from the previous :attr:`num_records`.
+        Appends re-encode each affected bitvector, so batch them — the cost
+        of one append is proportional to the full index size, not to the
+        chunk (the price of keeping WAH streams canonical).
+        """
+        chunk_size = chunk.num_records
+        new_nbits = self._nbits + chunk_size
+        for name, family in self._attrs.items():
+            spec = chunk.schema.attribute(name)
+            if spec.cardinality != family.cardinality:
+                raise IndexBuildError(
+                    f"chunk cardinality {spec.cardinality} != indexed "
+                    f"cardinality {family.cardinality} for attribute {name!r}"
+                )
+            column = chunk.column(name)
+            chunk_missing = bool((column == 0).any())
+            has_missing = family.has_missing or chunk_missing
+            chunk_bools = dict(
+                self._encode_column(column, family.cardinality, has_missing)
+            )
+            slots = set(family.vectors) | set(chunk_bools)
+            new_vectors = {}
+            for slot in slots:
+                if slot in family.vectors:
+                    old = family.vectors[slot].to_bools()
+                else:
+                    # Slot newly materialized (e.g. B_0 appearing when the
+                    # first missing value arrives): the encoding decides
+                    # what the prior records' bits were.
+                    old = self._backfill_slot(family, slot)
+                new = chunk_bools.get(slot)
+                if new is None:
+                    new = np.zeros(chunk_size, dtype=bool)
+                new_vectors[slot] = make_bitvector(
+                    np.concatenate([old, new]), self._codec
+                )
+            family.vectors = new_vectors
+            family.has_missing = has_missing
+            family.nbits = new_nbits
+        if self._deleted is not None:
+            self._deleted = np.concatenate(
+                [self._deleted, np.zeros(chunk_size, dtype=bool)]
+            )
+            self._alive_cache = None
+        self._nbits = new_nbits
+
+    def _backfill_slot(self, family: _AttributeBitmaps, slot: int) -> np.ndarray:
+        """Bits of a previously unstored slot for the pre-append records.
+
+        The default (all zeros) is right for every encoding whose only
+        dynamically appearing slot is the missing bitmap ``B_0``; encodings
+        that drop *constant* bitmaps override this.
+        """
+        return np.zeros(family.nbits, dtype=bool)
+
+    # -- size accounting -------------------------------------------------------
+
+    def size_report(self) -> IndexSizeReport:
+        """Per-attribute and total size of the stored bitmaps."""
+        verbatim_per_bitmap = (self._nbits + 7) // 8
+        reports = tuple(
+            AttributeSizeReport(
+                attribute=name,
+                num_bitmaps=len(family.vectors),
+                compressed_bytes=family.nbytes(),
+                verbatim_bytes=len(family.vectors) * verbatim_per_bitmap,
+            )
+            for name, family in self._attrs.items()
+        )
+        return IndexSizeReport(reports)
+
+    def nbytes(self) -> int:
+        """Total stored index size in bytes."""
+        return self.size_report().total_bytes
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(attributes={len(self._attrs)}, "
+            f"records={self._nbits}, codec={self._codec!r})"
+        )
+
+
+def constant_vector(family: _AttributeBitmaps, value: bool):
+    """An all-``value`` bitvector shaped like ``family``'s bitmaps.
+
+    Used for the synthesized bitmaps the encodings drop from storage (the
+    all-ones ``B_{i,C}`` of range encoding, or an absent ``B_{i,0}`` when an
+    attribute has no missing data).  Synthesized constants are not counted as
+    bitmap accesses.
+    """
+    bools = np.full(family.nbits, value, dtype=bool)
+    return make_bitvector(bools, family.codec)

@@ -1,0 +1,451 @@
+"""Word-Aligned Hybrid (WAH) compressed bitvectors (Wu, Otoo, Shoshani).
+
+WAH splits a bitmap into 31-bit groups and encodes them in 32-bit words of
+two kinds, distinguished by the most significant bit (as in the paper's
+implementation, "it is the most significant bit that indicates the type of
+word we are dealing with"):
+
+* **literal word** (MSB = 0): the lower 31 bits hold one group verbatim;
+* **fill word** (MSB = 1): the second most significant bit is the fill bit
+  and the remaining 30 bits store the fill length, counted in 31-bit groups.
+
+The word-alignment requirement on fills is what lets logical operations work
+directly on compressed operands: AND/OR/XOR below consume runs of groups from
+both inputs without ever materializing the verbatim bitmap, producing another
+compressed bitvector — exactly the property the paper relies on for fast
+bitmap query execution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.bitvector.bitvector import BitVector
+from repro.errors import CorruptIndexError, ReproError
+
+#: Bits per WAH word.
+WORD_BITS = 32
+#: Literal payload bits per word (the paper's ``w - 1``).
+GROUP_BITS = WORD_BITS - 1
+#: Mask selecting a literal payload.
+LITERAL_MASK = (1 << GROUP_BITS) - 1
+#: MSB flag marking a fill word.
+FILL_FLAG = 1 << (WORD_BITS - 1)
+#: Second-MSB flag holding a fill word's bit value.
+FILL_BIT_FLAG = 1 << (WORD_BITS - 2)
+#: Maximum number of groups one fill word can represent (``2**(w-2) - 1``).
+MAX_FILL_GROUPS = FILL_BIT_FLAG - 1
+
+_ALL_ONES_GROUP = LITERAL_MASK
+
+
+class _Builder:
+    """Accumulates WAH words, merging adjacent compatible fills."""
+
+    __slots__ = ("words",)
+
+    def __init__(self) -> None:
+        self.words: list[int] = []
+
+    def append_literal(self, group: int) -> None:
+        if group == 0:
+            self.append_fill(1, 0)
+        elif group == _ALL_ONES_GROUP:
+            self.append_fill(1, 1)
+        else:
+            self.words.append(group)
+
+    def append_fill(self, ngroups: int, bit: int) -> None:
+        if ngroups <= 0:
+            return
+        flag = FILL_FLAG | (FILL_BIT_FLAG if bit else 0)
+        if self.words:
+            last = self.words[-1]
+            if (last & ~MAX_FILL_GROUPS) == flag:
+                combined = (last & MAX_FILL_GROUPS) + ngroups
+                if combined <= MAX_FILL_GROUPS:
+                    self.words[-1] = flag | combined
+                    return
+                self.words[-1] = flag | MAX_FILL_GROUPS
+                ngroups = combined - MAX_FILL_GROUPS
+        while ngroups > MAX_FILL_GROUPS:
+            self.words.append(flag | MAX_FILL_GROUPS)
+            ngroups -= MAX_FILL_GROUPS
+        self.words.append(flag | ngroups)
+
+
+class _RunReader:
+    """Sequential decoder exposing the current run of a WAH word stream."""
+
+    __slots__ = ("_words", "_pos", "_len", "ngroups", "literal", "is_fill")
+
+    def __init__(self, words: list[int]):
+        self._words = words
+        self._pos = 0
+        self._len = len(words)
+        self.ngroups = 0
+        self.literal = 0
+        self.is_fill = False
+
+    def load(self) -> bool:
+        """Advance to the next word; return False at end of stream."""
+        if self._pos >= self._len:
+            return False
+        word = self._words[self._pos]
+        self._pos += 1
+        if word & FILL_FLAG:
+            self.is_fill = True
+            self.ngroups = word & MAX_FILL_GROUPS
+            self.literal = _ALL_ONES_GROUP if word & FILL_BIT_FLAG else 0
+            if self.ngroups == 0:
+                raise CorruptIndexError("WAH fill word with zero length")
+        else:
+            self.is_fill = False
+            self.ngroups = 1
+            self.literal = word
+        return True
+
+    def consume(self, ngroups: int) -> None:
+        self.ngroups -= ngroups
+
+
+def _groups_of(vec: BitVector) -> np.ndarray:
+    """The 31-bit groups of a verbatim bitvector as a uint64 array."""
+    bools = vec.to_bools()
+    ngroups = (len(bools) + GROUP_BITS - 1) // GROUP_BITS
+    padded = np.zeros(ngroups * GROUP_BITS, dtype=bool)
+    padded[: len(bools)] = bools
+    weights = (np.uint64(1) << np.arange(GROUP_BITS, dtype=np.uint64))
+    return padded.reshape(ngroups, GROUP_BITS) @ weights
+
+
+class WahBitVector:
+    """A WAH-compressed bitvector supporting compressed-domain logic ops.
+
+    Instances are immutable.  Build one with :meth:`compress`,
+    :meth:`from_bools`, :meth:`zeros`, or :meth:`ones`.
+    """
+
+    __slots__ = ("_words", "_nbits", "_np_cache")
+
+    def __init__(self, nbits: int, words: list[int]):
+        if nbits < 0:
+            raise ReproError(f"nbits must be >= 0, got {nbits}")
+        self._nbits = nbits
+        self._words = words
+        self._np_cache: np.ndarray | None = None
+        if sum(_word_groups(w) for w in words) != self.ngroups:
+            raise CorruptIndexError(
+                f"WAH words cover {sum(_word_groups(w) for w in words)} groups, "
+                f"expected {self.ngroups} for {nbits} bits"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def compress(cls, vec: BitVector) -> "WahBitVector":
+        """Compress a verbatim bitvector."""
+        return cls._from_group_array(vec.nbits, _groups_of(vec))
+
+    @classmethod
+    def _from_group_array(cls, nbits: int, groups: np.ndarray) -> "WahBitVector":
+        """Encode an array of 31-bit group values (canonical form).
+
+        Fully vectorized: run boundaries come from one ``diff`` pass, fill
+        words are scattered in one assignment, and literal runs are copied
+        verbatim with one fancy-index write.  Adjacent runs always differ in
+        value, so fills never need post-hoc merging.
+        """
+        ngroups = len(groups)
+        if ngroups == 0:
+            return cls(nbits, [])
+        groups = groups.astype(np.uint32, copy=False)
+        change = np.empty(ngroups, dtype=bool)
+        change[0] = True
+        np.not_equal(groups[1:], groups[:-1], out=change[1:])
+        run_starts = np.flatnonzero(change)
+        run_values = groups[run_starts]
+        run_lengths = np.diff(np.append(run_starts, ngroups))
+        if int(run_lengths.max()) > MAX_FILL_GROUPS:  # pragma: no cover - 33 Gbit
+            return cls._from_group_array_slow(nbits, groups)
+        is_fill = (run_values == 0) | (run_values == _ALL_ONES_GROUP)
+        out_counts = np.where(is_fill, 1, run_lengths)
+        out_starts = np.concatenate(([0], np.cumsum(out_counts)[:-1]))
+        out = np.empty(int(out_counts.sum()), dtype=np.uint32)
+        # Fill words in one scatter.
+        fill_bit = np.where(
+            run_values[is_fill] == _ALL_ONES_GROUP, FILL_BIT_FLAG, 0
+        ).astype(np.uint32)
+        out[out_starts[is_fill]] = (
+            np.uint32(FILL_FLAG) | fill_bit | run_lengths[is_fill].astype(np.uint32)
+        )
+        # Literal runs copied verbatim: out index = out_start + (pos - run_start).
+        lit = ~is_fill
+        if lit.any():
+            elem_is_lit = np.repeat(lit, run_lengths)
+            offsets = np.repeat(out_starts[lit] - run_starts[lit], run_lengths[lit])
+            positions = np.flatnonzero(elem_is_lit)
+            out[positions + offsets] = groups[positions]
+        return cls(nbits, out.tolist())
+
+    @classmethod
+    def _from_group_array_slow(
+        cls, nbits: int, groups: np.ndarray
+    ) -> "WahBitVector":  # pragma: no cover - only for >2**30-group fills
+        builder = _Builder()
+        boundaries = np.flatnonzero(np.diff(groups)) + 1
+        start = 0
+        for end in [*boundaries.tolist(), len(groups)]:
+            value = int(groups[start])
+            run = end - start
+            if value == 0:
+                builder.append_fill(run, 0)
+            elif value == _ALL_ONES_GROUP:
+                builder.append_fill(run, 1)
+            else:
+                builder.words.extend([value] * run)
+            start = end
+        return cls(nbits, builder.words)
+
+    def _words_np(self) -> np.ndarray:
+        if self._np_cache is None:
+            self._np_cache = np.array(self._words, dtype=np.uint32)
+        return self._np_cache
+
+    def _group_array(self) -> np.ndarray:
+        """Decode the compressed words to a per-group value array."""
+        words = self._words_np()
+        if len(words) == 0:
+            return np.empty(0, dtype=np.uint32)
+        is_fill = (words & np.uint32(FILL_FLAG)) != 0
+        lengths = np.where(is_fill, words & np.uint32(MAX_FILL_GROUPS), 1)
+        values = np.where(
+            is_fill,
+            np.where(
+                (words & np.uint32(FILL_BIT_FLAG)) != 0,
+                np.uint32(_ALL_ONES_GROUP),
+                np.uint32(0),
+            ),
+            words & np.uint32(LITERAL_MASK),
+        )
+        return np.repeat(values, lengths)
+
+    @classmethod
+    def from_bools(cls, bools: np.ndarray) -> "WahBitVector":
+        """Compress a boolean array."""
+        return cls.compress(BitVector.from_bools(bools))
+
+    @classmethod
+    def zeros(cls, nbits: int) -> "WahBitVector":
+        """An all-zero compressed vector."""
+        builder = _Builder()
+        builder.append_fill((nbits + GROUP_BITS - 1) // GROUP_BITS, 0)
+        return cls(nbits, builder.words)
+
+    @classmethod
+    def ones(cls, nbits: int) -> "WahBitVector":
+        """An all-one compressed vector (tail bits beyond ``nbits`` clear)."""
+        ngroups = (nbits + GROUP_BITS - 1) // GROUP_BITS
+        tail = nbits % GROUP_BITS
+        builder = _Builder()
+        if tail:
+            builder.append_fill(ngroups - 1, 1)
+            builder.append_literal((1 << tail) - 1)
+        else:
+            builder.append_fill(ngroups, 1)
+        return cls(nbits, builder.words)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def nbits(self) -> int:
+        """Number of bits represented."""
+        return self._nbits
+
+    @property
+    def ngroups(self) -> int:
+        """Number of 31-bit groups (including a trailing partial group)."""
+        return (self._nbits + GROUP_BITS - 1) // GROUP_BITS
+
+    @property
+    def words(self) -> list[int]:
+        """The compressed 32-bit words (do not mutate)."""
+        return self._words
+
+    def nbytes(self) -> int:
+        """Compressed payload size in bytes (4 bytes per WAH word)."""
+        return 4 * len(self._words)
+
+    def compression_ratio(self) -> float:
+        """Compressed size over verbatim size; < 1 means compression helped."""
+        verbatim = (self._nbits + 7) // 8
+        if verbatim == 0:
+            return 1.0
+        return self.nbytes() / verbatim
+
+    def count(self) -> int:
+        """Number of 1-bits, computed on the compressed form."""
+        total = 0
+        for word in self._words:
+            if word & FILL_FLAG:
+                if word & FILL_BIT_FLAG:
+                    total += GROUP_BITS * (word & MAX_FILL_GROUPS)
+            else:
+                total += word.bit_count()
+        return total
+
+    def density(self) -> float:
+        """Fraction of 1-bits."""
+        if self._nbits == 0:
+            return 0.0
+        return self.count() / self._nbits
+
+    def decompress(self) -> BitVector:
+        """Expand back to a verbatim :class:`BitVector`."""
+        groups = self._group_array()
+        bits = (
+            groups[:, None] >> np.arange(GROUP_BITS, dtype=np.uint64)[None, :]
+        ) & np.uint64(1)
+        bools = bits.reshape(-1)[: self._nbits].astype(bool)
+        return BitVector.from_bools(bools)
+
+    def to_bools(self) -> np.ndarray:
+        """Expand to a boolean array."""
+        return self.decompress().to_bools()
+
+    def to_indices(self) -> np.ndarray:
+        """Sorted positions of the 1-bits."""
+        return self.decompress().to_indices()
+
+    def runs(self) -> Iterator[tuple[bool, int, int]]:
+        """Yield ``(is_fill, literal_or_fill_value, ngroups)`` per word."""
+        for word in self._words:
+            if word & FILL_FLAG:
+                bit = 1 if word & FILL_BIT_FLAG else 0
+                yield True, bit, word & MAX_FILL_GROUPS
+            else:
+                yield False, word, 1
+
+    # -- logical operations -------------------------------------------------
+
+    def _binary_op(
+        self,
+        other: "WahBitVector",
+        op: Callable[[int, int], int],
+        ufunc: np.ufunc,
+    ) -> "WahBitVector":
+        if not isinstance(other, WahBitVector):
+            raise TypeError(f"expected WahBitVector, got {type(other).__name__}")
+        if other._nbits != self._nbits:
+            raise ReproError(
+                f"bitvector length mismatch: {self._nbits} vs {other._nbits}"
+            )
+        # Fast path for poorly compressed operands: run-pair iteration costs
+        # one Python step per word, so when the streams are mostly literals
+        # it is cheaper to decode both to group arrays and apply the ufunc.
+        # The result is identical (group-array re-encoding is canonical).
+        if len(self._words) + len(other._words) > self.ngroups // 4:
+            merged = ufunc(self._group_array(), other._group_array())
+            return WahBitVector._from_group_array(self._nbits, merged)
+        left = _RunReader(self._words)
+        right = _RunReader(other._words)
+        builder = _Builder()
+        remaining = self.ngroups
+        left_ok = left.load()
+        right_ok = right.load()
+        while remaining > 0:
+            if left.ngroups == 0:
+                left_ok = left.load()
+            if right.ngroups == 0:
+                right_ok = right.load()
+            if not (left_ok and right_ok):
+                raise CorruptIndexError("WAH stream ended before all groups read")
+            if left.is_fill and right.is_fill:
+                take = min(left.ngroups, right.ngroups)
+                merged = op(left.literal, right.literal)
+                if merged == 0:
+                    builder.append_fill(take, 0)
+                elif merged == _ALL_ONES_GROUP:
+                    builder.append_fill(take, 1)
+                else:  # pragma: no cover - AND/OR/XOR of fills is a fill
+                    for _ in range(take):
+                        builder.append_literal(merged)
+            else:
+                take = 1
+                builder.append_literal(op(left.literal, right.literal))
+            left.consume(take)
+            right.consume(take)
+            remaining -= take
+        return WahBitVector(self._nbits, builder.words)
+
+    @classmethod
+    def or_many(cls, operands: list["WahBitVector"]) -> "WahBitVector":
+        """OR several compressed vectors via a group-array accumulator.
+
+        Wide unions (equality-encoded range queries OR dozens of value
+        bitmaps) degrade under pairwise compressed ops because the
+        accumulating result densifies and every subsequent op pays for it.
+        The standard fix (FastBit does the same) is to decode each operand
+        once into an uncompressed accumulator and re-encode at the end: the
+        compressed words *read* are just the operands' own words.
+        """
+        if not operands:
+            raise ReproError("or_many requires at least one operand")
+        first = operands[0]
+        for other in operands[1:]:
+            if other._nbits != first._nbits:
+                raise ReproError(
+                    f"bitvector length mismatch: {first._nbits} vs {other._nbits}"
+                )
+        if len(operands) == 1:
+            return first
+        acc = first._group_array().copy()
+        for other in operands[1:]:
+            np.bitwise_or(acc, other._group_array(), out=acc)
+        return cls._from_group_array(first._nbits, acc)
+
+    def __and__(self, other: "WahBitVector") -> "WahBitVector":
+        return self._binary_op(other, lambda a, b: a & b, np.bitwise_and)
+
+    def __or__(self, other: "WahBitVector") -> "WahBitVector":
+        return self._binary_op(other, lambda a, b: a | b, np.bitwise_or)
+
+    def __xor__(self, other: "WahBitVector") -> "WahBitVector":
+        return self._binary_op(other, lambda a, b: a ^ b, np.bitwise_xor)
+
+    def __invert__(self) -> "WahBitVector":
+        # NOT is XOR with the all-ones vector whose tail bits (beyond nbits)
+        # are zero, which keeps the trailing-group invariant intact.
+        return self ^ WahBitVector.ones(self._nbits)
+
+    def andnot(self, other: "WahBitVector") -> "WahBitVector":
+        """``self & ~other`` on the compressed forms."""
+        return self._binary_op(
+            other,
+            lambda a, b: a & (b ^ _ALL_ONES_GROUP),
+            lambda a, b: a & (b ^ np.uint64(_ALL_ONES_GROUP)),
+        )
+
+    # -- comparisons ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, WahBitVector):
+            return NotImplemented
+        return self._nbits == other._nbits and self._words == other._words
+
+    def __hash__(self) -> int:
+        return hash((self._nbits, tuple(self._words)))
+
+    def __repr__(self) -> str:
+        return (
+            f"WahBitVector(nbits={self._nbits}, words={len(self._words)}, "
+            f"ratio={self.compression_ratio():.3f})"
+        )
+
+
+def _word_groups(word: int) -> int:
+    if word & FILL_FLAG:
+        return word & MAX_FILL_GROUPS
+    return 1

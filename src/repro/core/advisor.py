@@ -1,0 +1,139 @@
+"""Index advisor encoding the paper's Section 6 "insights".
+
+The paper closes with guidance on when to use each technique:
+
+* **BRE** typically offers the best query time — bounded bit operations
+  (1–3 bitvectors) per dimension — but barely compresses under WAH.
+* **BEE** performs up to ``C/2 + 1`` operations per dimension; it shines for
+  point queries and narrow ranges, and compresses far better than BRE,
+  especially on skewed data or data with much missing.
+* **VA-files** are the smallest representation by a wide margin and are
+  insensitive to missing data, but their scan-based evaluation usually loses
+  to compressed range-encoded bitmaps in query time.
+
+:func:`recommend` turns a workload/data description into a ranked list of
+these techniques with the paper's reasoning attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.stats import profile_table
+from repro.dataset.table import IncompleteTable
+
+
+@dataclass(frozen=True, slots=True)
+class WorkloadProfile:
+    """What the advisor needs to know about the intended workload."""
+
+    #: Fraction of queries that are point queries (bounds coincide).
+    point_query_fraction: float = 0.0
+    #: Typical attribute selectivity of range queries (interval width / C).
+    typical_attribute_selectivity: float = 0.2
+    #: Typical number of attributes per search key.
+    typical_dimensionality: int = 4
+    #: Hard ceiling on index size in bytes (None = unconstrained).
+    memory_budget_bytes: int | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class Recommendation:
+    """One ranked index choice with its justification."""
+
+    kind: str
+    score: float
+    reasons: tuple[str, ...]
+
+
+def recommend(
+    table: IncompleteTable,
+    workload: WorkloadProfile | None = None,
+) -> list[Recommendation]:
+    """Rank ``bre``/``bee``/``vafile`` for a table + workload, best first.
+
+    Scores are heuristic (higher is better) but the *ordering* logic follows
+    the paper's conclusions; each recommendation carries the reasons, so the
+    ranking is auditable.
+    """
+    if workload is None:
+        workload = WorkloadProfile()
+    profiles = profile_table(table)
+    avg_cardinality = sum(p.cardinality for p in profiles) / len(profiles)
+    avg_missing = sum(p.missing_fraction for p in profiles) / len(profiles)
+    n = table.num_records
+
+    bre_reasons = [
+        "range encoding answers any interval with 1-3 bitvectors per "
+        "dimension, independent of cardinality (paper Fig. 5a/5c)"
+    ]
+    bre_score = 3.0
+    bee_reasons = []
+    bee_score = 2.0
+    va_reasons = [
+        "VA-file is the smallest index and its size is insensitive to "
+        "missing data (paper Fig. 4a/4b)"
+    ]
+    va_score = 1.0
+
+    if workload.point_query_fraction > 0.5:
+        bee_score += 1.5
+        bee_reasons.append(
+            "workload is point-query heavy; equality encoding is optimal "
+            "for point queries (1-2 bitvectors per dimension)"
+        )
+    narrow = workload.typical_attribute_selectivity * avg_cardinality <= 2.0
+    if narrow:
+        bee_score += 0.5
+        bee_reasons.append(
+            "typical intervals span <= 2 values, so equality encoding reads "
+            "as few bitvectors as range encoding"
+        )
+    else:
+        bre_score += 0.5
+
+    if avg_missing > 0.3:
+        bee_score += 0.5
+        bee_reasons.append(
+            "high missing-data rates sharpen WAH compression of equality "
+            "bitmaps (paper Fig. 4b) and shrink per-query bitmap counts at "
+            "fixed global selectivity (paper Fig. 5b)"
+        )
+
+    if workload.memory_budget_bytes is not None:
+        # Rough size estimates: BEE ~ C bitmaps, BRE ~ C incompressible
+        # bitmaps, VA ~ ceil(lg C) bits per cell.
+        per_bitmap = (n + 7) // 8
+        est_bre = int(avg_cardinality * per_bitmap * len(profiles))
+        est_va = sum(
+            (n * max(1, (p.cardinality + 1).bit_length()) + 7) // 8
+            for p in profiles
+        )
+        if est_bre > workload.memory_budget_bytes:
+            bre_score -= 2.0
+            bre_reasons.append(
+                f"estimated BRE size ~{est_bre} B exceeds the memory budget; "
+                "range-encoded bitmaps do not benefit from WAH (paper Fig. 4a)"
+            )
+        if est_va <= workload.memory_budget_bytes:
+            va_score += 2.0
+            va_reasons.append(
+                f"estimated VA-file size ~{est_va} B fits the memory budget"
+            )
+
+    if not bee_reasons:
+        bee_reasons.append(
+            "equality encoding compresses far better than range encoding "
+            "under WAH; a reasonable default when queries are selective"
+        )
+
+    ranked = sorted(
+        [
+            Recommendation("bre", bre_score, tuple(bre_reasons)),
+            Recommendation("bee", bee_score, tuple(bee_reasons)),
+            Recommendation("vafile", va_score, tuple(va_reasons)),
+        ],
+        key=lambda rec: rec.score,
+        reverse=True,
+    )
+    return ranked

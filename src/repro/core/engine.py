@@ -1,0 +1,351 @@
+"""The :class:`IncompleteDatabase` facade: one table, many indexes.
+
+This is the library's top-level entry point.  It owns an
+:class:`~repro.dataset.table.IncompleteTable`, lets the caller attach any of
+the access methods implemented in this package under a name, executes
+queries under either missing-data semantics through a uniform interface, and
+can explain/compare plans.
+
+Every access method answers with exactly the same record-id set (verified by
+the test suite against the brute-force oracle); they differ in index size
+and the work done per query, which is what the paper studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Mapping
+
+import numpy as np
+
+from repro.baselines.bitstring import BitstringAugmentedIndex
+from repro.baselines.gridfile import GridFileIndex
+from repro.baselines.mosaic import MosaicIndex
+from repro.baselines.sentinel_rtree import SentinelRTreeIndex
+from repro.baselines.seqscan import SequentialScan
+from repro.bitmap.bitsliced import BitSlicedIndex
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.dataset.table import IncompleteTable
+from repro.errors import QueryError, ReproError
+from repro.query.model import MissingSemantics, RangeQuery
+from repro.vafile.vafile import VAFile
+
+#: Index kind -> builder.  Builders take (table, attributes, **options).
+_BUILDERS: dict[str, Callable] = {
+    "bee": lambda table, attributes, **opts: EqualityEncodedBitmapIndex(
+        table, attributes, **opts
+    ),
+    "bre": lambda table, attributes, **opts: RangeEncodedBitmapIndex(
+        table, attributes, **opts
+    ),
+    "bie": lambda table, attributes, **opts: IntervalEncodedBitmapIndex(
+        table, attributes, **opts
+    ),
+    "bsl": lambda table, attributes, **opts: BitSlicedIndex(
+        table, attributes, **opts
+    ),
+    "vafile": lambda table, attributes, **opts: VAFile(table, attributes, **opts),
+    "mosaic": lambda table, attributes, **opts: MosaicIndex(
+        table, attributes, **opts
+    ),
+    "rtree-sentinel": lambda table, attributes, **opts: SentinelRTreeIndex(
+        table, attributes, **opts
+    ),
+    "bitstring": lambda table, attributes, **opts: BitstringAugmentedIndex(
+        table, attributes, **opts
+    ),
+    "gridfile": lambda table, attributes, **opts: GridFileIndex(
+        table, attributes, **opts
+    ),
+}
+
+#: Preference order used when several indexes cover a query, mirroring the
+#: paper's conclusions: BRE typically fastest for ranges, then BEE, then the
+#: VA-file, then the prior-work baselines.
+_PREFERENCE = (
+    "bre", "bie", "bee", "bsl", "vafile", "mosaic", "rtree-sentinel",
+    "gridfile", "bitstring",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class AttachedIndex:
+    """An index registered with an :class:`IncompleteDatabase`."""
+
+    name: str
+    kind: str
+    index: object
+    attributes: tuple[str, ...]
+
+    def covers(self, query: RangeQuery) -> bool:
+        """Whether every query attribute is indexed by this index."""
+        return set(query.attributes) <= set(self.attributes)
+
+
+@dataclass
+class QueryReport:
+    """Outcome of one engine query execution."""
+
+    index_name: str
+    kind: str
+    record_ids: np.ndarray = field(repr=False)
+
+    @property
+    def num_matches(self) -> int:
+        """Number of matching records."""
+        return len(self.record_ids)
+
+
+class IncompleteDatabase:
+    """A queryable incomplete table with pluggable access methods.
+
+    Parameters
+    ----------
+    table:
+        The data to serve.  A sequential-scan fallback is always available.
+    """
+
+    def __init__(self, table: IncompleteTable):
+        self._table = table
+        self._indexes: dict[str, AttachedIndex] = {}
+        self._scan = SequentialScan(table)
+        self._statistics = None
+
+    @property
+    def statistics(self):
+        """Lazy per-attribute histograms (see :mod:`repro.core.statistics`)."""
+        if self._statistics is None:
+            from repro.core.statistics import TableStatistics
+
+            self._statistics = TableStatistics(self._table)
+        return self._statistics
+
+    def estimate_count(
+        self,
+        query: RangeQuery | Mapping[str, tuple[int, int]],
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+    ) -> int:
+        """Estimated matches without executing (GS product estimator)."""
+        if not isinstance(query, RangeQuery):
+            query = RangeQuery.from_bounds(query)
+        return self.statistics.estimate_count(query, semantics)
+
+    @property
+    def table(self) -> IncompleteTable:
+        """The underlying table."""
+        return self._table
+
+    @property
+    def index_names(self) -> tuple[str, ...]:
+        """Names of attached indexes, in attachment order."""
+        return tuple(self._indexes)
+
+    def create_index(
+        self,
+        name: str,
+        kind: str,
+        attributes: Iterable[str] | None = None,
+        **options,
+    ) -> AttachedIndex:
+        """Build and attach an index.
+
+        Parameters
+        ----------
+        name:
+            Registry name, unique per database.
+        kind:
+            One of ``bee``, ``bre``, ``vafile``, ``mosaic``,
+            ``rtree-sentinel``, ``bitstring``.
+        attributes:
+            Attributes to cover; defaults to the whole schema.
+        options:
+            Passed to the index constructor (e.g. ``codec="wah"`` for
+            bitmaps, ``bits={...}`` for VA-files).
+        """
+        if name in self._indexes:
+            raise ReproError(f"an index named {name!r} already exists")
+        try:
+            builder = _BUILDERS[kind]
+        except KeyError:
+            raise ReproError(
+                f"unknown index kind {kind!r}; expected one of {sorted(_BUILDERS)}"
+            )
+        attrs = tuple(attributes) if attributes is not None else self._table.schema.names
+        index = builder(self._table, list(attrs), **options)
+        attached = AttachedIndex(name=name, kind=kind, index=index, attributes=attrs)
+        self._indexes[name] = attached
+        return attached
+
+    def drop_index(self, name: str) -> None:
+        """Detach an index by name."""
+        if name not in self._indexes:
+            raise ReproError(f"no index named {name!r}")
+        del self._indexes[name]
+
+    def get_index(self, name: str) -> AttachedIndex:
+        """Look up an attached index."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise ReproError(f"no index named {name!r}")
+
+    # -- planning ----------------------------------------------------------
+
+    def choose_index(
+        self,
+        query: RangeQuery,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+    ) -> AttachedIndex | None:
+        """The index that will serve ``query``; None means sequential scan.
+
+        Covering indexes with a cost model (bitmaps, VA-files) compete on
+        estimated cost-model items (see :mod:`repro.core.planner`); if none
+        is costable, the paper-informed preference order
+        BRE > BIE > BEE > VA-file > MOSAIC > R-tree > bitstring decides.
+        """
+        from repro.core.planner import rank_plans
+
+        covering = [ix for ix in self._indexes.values() if ix.covers(query)]
+        if not covering:
+            return None
+        plans = rank_plans(covering, query, semantics)
+        if plans:
+            return self._indexes[plans[0].index_name]
+        rank = {kind: pos for pos, kind in enumerate(_PREFERENCE)}
+        return min(covering, key=lambda ix: rank.get(ix.kind, len(rank)))
+
+    def explain(
+        self,
+        query: RangeQuery,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+    ) -> str:
+        """Human-readable plan description for a query, with costs."""
+        from repro.core.planner import rank_plans
+
+        chosen = self.choose_index(query, semantics)
+        lines = [
+            f"query: {query!r}",
+            f"semantics: {semantics.value}",
+            f"estimated matches: {self.estimate_count(query, semantics)}",
+        ]
+        if chosen is None:
+            lines.append("plan: sequential scan (no covering index)")
+            return "\n".join(lines)
+        lines.append(f"plan: index {chosen.name!r} ({chosen.kind})")
+        if chosen.kind in ("bee", "bre", "bie", "bsl"):
+            total = sum(
+                chosen.index.bitmaps_for_interval(name, interval, semantics)
+                for name, interval in query.items()
+            )
+            lines.append(f"bitvectors used: {total}")
+        covering = [ix for ix in self._indexes.values() if ix.covers(query)]
+        plans = rank_plans(covering, query, semantics)
+        for plan in plans:
+            marker = "->" if plan.index_name == chosen.name else "  "
+            lines.append(
+                f"{marker} {plan.index_name} ({plan.kind}): "
+                f"~{plan.items:,.0f} items ({plan.detail})"
+            )
+        return "\n".join(lines)
+
+    # -- execution -----------------------------------------------------------
+
+    def query(
+        self,
+        query: RangeQuery | Mapping[str, tuple[int, int]],
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> QueryReport:
+        """Execute a query and report which access method served it.
+
+        Parameters
+        ----------
+        query:
+            A :class:`RangeQuery`, or ``{attribute: (lo, hi)}`` bounds.
+        semantics:
+            Missing-data semantics to apply.
+        using:
+            Force a specific attached index by name; defaults to automatic
+            selection with sequential-scan fallback.
+        """
+        if not isinstance(query, RangeQuery):
+            query = RangeQuery.from_bounds(query)
+        if using is not None:
+            chosen = self.get_index(using)
+            if not chosen.covers(query):
+                raise QueryError(
+                    f"index {using!r} does not cover attributes "
+                    f"{sorted(set(query.attributes) - set(chosen.attributes))}"
+                )
+        else:
+            chosen = self.choose_index(query, semantics)
+        if chosen is None:
+            ids = self._scan.execute_ids(query, semantics)
+            return QueryReport(index_name="<scan>", kind="scan", record_ids=ids)
+        ids = np.asarray(chosen.index.execute_ids(query, semantics))
+        return QueryReport(index_name=chosen.name, kind=chosen.kind, record_ids=ids)
+
+    def count(
+        self,
+        query: RangeQuery | Mapping[str, tuple[int, int]],
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> int:
+        """Number of records matching a query."""
+        return self.query(query, semantics, using).num_matches
+
+    def query_predicate(
+        self,
+        predicate,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> QueryReport:
+        """Execute an arbitrary boolean predicate (AND/OR/NOT of atoms).
+
+        Bitmap indexes and VA-files evaluate predicate trees natively; the
+        other access methods fall back to a ground-truth scan.
+        """
+        from repro.query.boolean import Predicate, evaluate_predicate
+
+        if not isinstance(predicate, Predicate):
+            raise QueryError(
+                f"expected a Predicate, got {type(predicate).__name__}"
+            )
+        attrs = predicate.attributes()
+        if using is not None:
+            chosen = self.get_index(using)
+            if not attrs <= set(chosen.attributes):
+                raise QueryError(
+                    f"index {using!r} does not cover attributes "
+                    f"{sorted(attrs - set(chosen.attributes))}"
+                )
+        else:
+            chosen = None
+            rank = {kind: pos for pos, kind in enumerate(_PREFERENCE)}
+            covering = [
+                ix
+                for ix in self._indexes.values()
+                if attrs <= set(ix.attributes)
+                and hasattr(ix.index, "execute_predicate_ids")
+            ]
+            if covering:
+                chosen = min(covering, key=lambda ix: rank.get(ix.kind, len(rank)))
+        if chosen is None or not hasattr(chosen.index, "execute_predicate_ids"):
+            ids = evaluate_predicate(self._table, predicate, semantics)
+            return QueryReport(index_name="<scan>", kind="scan", record_ids=ids)
+        ids = chosen.index.execute_predicate_ids(predicate, semantics)
+        return QueryReport(
+            index_name=chosen.name, kind=chosen.kind, record_ids=ids
+        )
+
+    def fetch(
+        self,
+        query: RangeQuery | Mapping[str, tuple[int, int]],
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> IncompleteTable:
+        """Materialize the matching rows as a new table."""
+        report = self.query(query, semantics, using)
+        return self._table.take(report.record_ids)

@@ -1,0 +1,48 @@
+"""Dataset substrate: incomplete tables, schemas, generators, and profiling."""
+
+from repro.dataset.census import (
+    PAPER_CENSUS_RECORDS,
+    TABLE7_CENSUS_GRID,
+    generate_census_like,
+    sample_census_profiles,
+)
+from repro.dataset.csv_io import read_csv, write_csv
+from repro.dataset.dictionary import ValueDictionary
+from repro.dataset.io import load_table, save_table
+from repro.dataset.reorder import gray_order, lexicographic_order, reorder
+from repro.dataset.schema import MISSING, AttributeSpec, Schema
+from repro.dataset.stats import composition_grid, profile_table, summarize
+from repro.dataset.synthetic import (
+    PAPER_SYNTHETIC_RECORDS,
+    TABLE7_SYNTHETIC_GRID,
+    generate_synthetic,
+    generate_uniform_table,
+)
+from repro.dataset.table import IncompleteTable, concat_tables
+
+__all__ = [
+    "ValueDictionary",
+    "concat_tables",
+    "read_csv",
+    "write_csv",
+    "gray_order",
+    "lexicographic_order",
+    "reorder",
+    "MISSING",
+    "AttributeSpec",
+    "IncompleteTable",
+    "PAPER_CENSUS_RECORDS",
+    "PAPER_SYNTHETIC_RECORDS",
+    "Schema",
+    "TABLE7_CENSUS_GRID",
+    "TABLE7_SYNTHETIC_GRID",
+    "composition_grid",
+    "generate_census_like",
+    "generate_synthetic",
+    "generate_uniform_table",
+    "load_table",
+    "profile_table",
+    "sample_census_profiles",
+    "save_table",
+    "summarize",
+]

@@ -1,0 +1,127 @@
+"""CSV import/export for incomplete tables.
+
+Real incomplete data usually arrives as CSV with empty cells for missing
+values.  :func:`read_csv` dictionary-encodes every column into the coded
+integer domain this library indexes (``1..C`` plus 0 for missing) and
+returns the table together with the per-attribute
+:class:`~repro.dataset.dictionary.ValueDictionary` objects needed to decode
+results; :func:`write_csv` is the inverse.
+
+Columns whose non-missing cells all parse as integers are ordered
+numerically (so range queries over them behave as expected); everything
+else is treated as categorical text ordered lexicographically.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable
+
+import numpy as np
+
+from repro.dataset.dictionary import ValueDictionary
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.table import IncompleteTable
+from repro.errors import SchemaError
+
+#: Cell spellings treated as missing on import (case-insensitive).
+MISSING_TOKENS = frozenset({"", "na", "n/a", "nan", "null", "none", "?"})
+
+
+def _parse_cell(cell: str):
+    """Raw value for a CSV cell: None when missing, int when numeric."""
+    stripped = cell.strip()
+    if stripped.lower() in MISSING_TOKENS:
+        return None
+    try:
+        return int(stripped)
+    except ValueError:
+        return stripped
+
+
+def read_csv(
+    path: str | os.PathLike,
+    missing_tokens: Iterable[str] | None = None,
+) -> tuple[IncompleteTable, dict[str, ValueDictionary]]:
+    """Load a headered CSV as a coded table plus decode dictionaries.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    missing_tokens:
+        Cell spellings (case-insensitive) to treat as missing; defaults to
+        :data:`MISSING_TOKENS`.
+    """
+    tokens = (
+        frozenset(t.lower() for t in missing_tokens)
+        if missing_tokens is not None
+        else MISSING_TOKENS
+    )
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path}: CSV file is empty")
+        if len(set(header)) != len(header):
+            raise SchemaError(f"{path}: duplicate column names in header")
+        raw_columns: dict[str, list] = {name: [] for name in header}
+        for line_no, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{path}:{line_no}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            for name, cell in zip(header, row):
+                stripped = cell.strip()
+                if stripped.lower() in tokens:
+                    raw_columns[name].append(None)
+                else:
+                    raw_columns[name].append(_parse_cell(stripped))
+
+    specs = []
+    columns: dict[str, np.ndarray] = {}
+    dictionaries: dict[str, ValueDictionary] = {}
+    for name in header:
+        raw = raw_columns[name]
+        present = [v for v in raw if v is not None]
+        if present and not all(isinstance(v, int) for v in present):
+            # Mixed numeric/text: treat everything as text.
+            raw = [str(v) if v is not None else None for v in raw]
+        dictionary = ValueDictionary.fit(raw, ordered=True)
+        cardinality = max(1, dictionary.cardinality)
+        specs.append(AttributeSpec(name, cardinality))
+        columns[name] = dictionary.encode(raw)
+        dictionaries[name] = dictionary
+    table = IncompleteTable(Schema(specs), columns)
+    return table, dictionaries
+
+
+def write_csv(
+    table: IncompleteTable,
+    dictionaries: dict[str, ValueDictionary],
+    path: str | os.PathLike,
+    missing_token: str = "",
+) -> None:
+    """Write a coded table back to CSV using its decode dictionaries."""
+    names = table.schema.names
+    for name in names:
+        if name not in dictionaries:
+            raise SchemaError(f"no dictionary for attribute {name!r}")
+    decoded = {
+        name: dictionaries[name].decode(table.column(name)) for name in names
+    }
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for row_index in range(table.num_records):
+            writer.writerow(
+                [
+                    missing_token
+                    if decoded[name][row_index] is None
+                    else decoded[name][row_index]
+                    for name in names
+                ]
+            )

@@ -1,0 +1,117 @@
+"""Value dictionaries: mapping raw attribute values to integer codes.
+
+The paper assumes attributes are already coded as integers ``1..C``.  Real
+data arrives as strings, floats, or sparse integers; a
+:class:`ValueDictionary` provides the bidirectional mapping (raw value <->
+code) with ``None``/empty standing for missing (code 0), so any categorical
+column can be indexed by this library.
+
+Codes are assigned in first-seen order by default, or in sorted order when
+``ordered=True`` — use ordered dictionaries when range queries over the raw
+values must be meaningful (range encoding compares *codes*).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator
+
+import numpy as np
+
+from repro.dataset.schema import MISSING
+from repro.errors import DomainError, SchemaError
+
+
+class ValueDictionary:
+    """A bidirectional raw-value <-> code mapping for one attribute.
+
+    Parameters
+    ----------
+    values:
+        Raw values in code order (code 1 first).  Use :meth:`fit` to build
+        one from data.
+    """
+
+    __slots__ = ("_values", "_codes")
+
+    def __init__(self, values: Iterable[Hashable]):
+        self._values: list[Hashable] = []
+        self._codes: dict[Hashable, int] = {}
+        for value in values:
+            if value is None:
+                raise SchemaError("None cannot be a dictionary value (it means missing)")
+            if value in self._codes:
+                raise SchemaError(f"duplicate dictionary value {value!r}")
+            self._values.append(value)
+            self._codes[value] = len(self._values)
+
+    @classmethod
+    def fit(
+        cls,
+        raw: Iterable[Hashable],
+        ordered: bool = False,
+    ) -> "ValueDictionary":
+        """Build a dictionary from raw data; ``None`` entries are skipped.
+
+        ``ordered=True`` assigns codes in sorted raw-value order so that
+        code comparisons mirror raw-value comparisons (required for
+        meaningful range queries on the raw domain).
+        """
+        seen: dict[Hashable, None] = {}
+        for value in raw:
+            if value is not None and value not in seen:
+                seen[value] = None
+        values: Iterable[Hashable] = seen
+        if ordered:
+            values = sorted(seen)
+        return cls(values)
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct raw values (the attribute's ``C``)."""
+        return len(self._values)
+
+    def encode_value(self, value: Hashable | None) -> int:
+        """Code for one raw value; ``None`` encodes as missing (0)."""
+        if value is None:
+            return MISSING
+        try:
+            return self._codes[value]
+        except KeyError:
+            raise DomainError(f"value {value!r} is not in the dictionary")
+
+    def decode_value(self, code: int) -> Hashable | None:
+        """Raw value for one code; 0 decodes as ``None`` (missing)."""
+        if code == MISSING:
+            return None
+        if not 1 <= code <= len(self._values):
+            raise DomainError(
+                f"code {code} outside 1..{len(self._values)}"
+            )
+        return self._values[code - 1]
+
+    def encode(self, raw: Iterable[Hashable | None]) -> np.ndarray:
+        """Coded column for a raw iterable."""
+        return np.array([self.encode_value(v) for v in raw], dtype=np.int64)
+
+    def decode(self, codes: Iterable[int]) -> list[Hashable | None]:
+        """Raw values for a coded sequence."""
+        return [self.decode_value(int(c)) for c in codes]
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._codes
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueDictionary):
+            return NotImplemented
+        return self._values == other._values
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(v) for v in self._values[:4])
+        suffix = ", ..." if len(self._values) > 4 else ""
+        return f"ValueDictionary([{preview}{suffix}], C={len(self._values)})"

@@ -1,0 +1,51 @@
+"""Save/load :class:`IncompleteTable` instances as ``.npz`` archives.
+
+The on-disk format stores one array per column plus a parallel pair of
+metadata arrays (names and cardinalities), so a saved table round-trips its
+schema exactly even when some domain values never occur in the data.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.table import IncompleteTable
+from repro.errors import CorruptIndexError
+
+_NAMES_KEY = "__names__"
+_CARDS_KEY = "__cardinalities__"
+
+
+def save_table(table: IncompleteTable, path: str | os.PathLike) -> None:
+    """Write ``table`` to ``path`` as a compressed ``.npz`` archive."""
+    arrays: dict[str, np.ndarray] = {
+        _NAMES_KEY: np.array(table.schema.names, dtype=np.str_),
+        _CARDS_KEY: np.array(
+            [spec.cardinality for spec in table.schema], dtype=np.int64
+        ),
+    }
+    for index, name in enumerate(table.schema.names):
+        arrays[f"col_{index}"] = table.column(name)
+    np.savez_compressed(path, **arrays)
+
+
+def load_table(path: str | os.PathLike) -> IncompleteTable:
+    """Read a table previously written by :func:`save_table`."""
+    with np.load(path, allow_pickle=False) as archive:
+        if _NAMES_KEY not in archive or _CARDS_KEY not in archive:
+            raise CorruptIndexError(f"{path}: not a saved IncompleteTable archive")
+        names = [str(n) for n in archive[_NAMES_KEY]]
+        cardinalities = archive[_CARDS_KEY]
+        if len(names) != len(cardinalities):
+            raise CorruptIndexError(f"{path}: schema metadata arrays disagree")
+        schema = Schema(
+            AttributeSpec(name, int(card))
+            for name, card in zip(names, cardinalities)
+        )
+        columns = {
+            name: archive[f"col_{index}"] for index, name in enumerate(names)
+        }
+        return IncompleteTable(schema, columns)

@@ -1,0 +1,118 @@
+"""Row reordering to improve bitmap compression (the paper's future work).
+
+Section 6: "The biggest weakness of the range encoded bitmaps is the
+inability to compress them.  We would like to explore techniques such as
+BBC compression and row reordering in order to achieve more compression of
+these bitmaps."
+
+Run-length codes like WAH feed on runs of equal bits, and runs in a
+bitmap's columns correspond to consecutive *rows* with equal (or close)
+values — so permuting rows so that similar records are adjacent lengthens
+runs in every bitmap at once.  Two classic orderings are provided:
+
+* :func:`lexicographic_order` — sort rows by their coded values, most
+  significant attribute first.  Long runs for the leading attributes.
+* :func:`gray_order` — mixed-radix Gray ordering: like lexicographic, but
+  each attribute's sort direction alternates with the parity of the prefix,
+  so consecutive rows differ in as few attribute transitions as possible.
+  This is the ordering used by the bitmap-reordering literature.
+
+Both return a permutation; :func:`reorder_table` applies it.  Reordering
+changes record ids, so query results over a reordered table refer to the
+new positions — keep the permutation to translate back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.table import IncompleteTable
+from repro.errors import ReproError
+
+
+def _ordered_columns(
+    table: IncompleteTable, attributes: list[str] | None
+) -> list[np.ndarray]:
+    names = list(attributes) if attributes is not None else list(table.schema.names)
+    if not names:
+        raise ReproError("row reordering requires at least one attribute")
+    return [table.column(name) for name in names]
+
+
+def lexicographic_order(
+    table: IncompleteTable, attributes: list[str] | None = None
+) -> np.ndarray:
+    """Permutation sorting rows lexicographically by the given attributes.
+
+    The first listed attribute is the most significant sort key.  Missing
+    values (code 0) sort before all real values.
+    """
+    columns = _ordered_columns(table, attributes)
+    # np.lexsort treats the *last* key as most significant.
+    return np.lexsort(tuple(reversed(columns)))
+
+
+def gray_order(
+    table: IncompleteTable, attributes: list[str] | None = None
+) -> np.ndarray:
+    """Permutation sorting rows in mixed-radix Gray order.
+
+    The Gray transform flips each digit's direction according to the parity
+    of the (transformed) digits before it, then sorts lexicographically on
+    the transformed digits.  Consecutive rows then tend to differ in only
+    the least significant attributes, maximizing run lengths across the
+    whole bitmap family.
+    """
+    names = list(attributes) if attributes is not None else list(table.schema.names)
+    columns = _ordered_columns(table, names)
+    parity = np.zeros(table.num_records, dtype=np.int64)
+    transformed: list[np.ndarray] = []
+    for name, column in zip(names, columns):
+        radix = table.schema.cardinality(name) + 1  # codes 0..C
+        digits = np.where(parity % 2 == 0, column, radix - 1 - column)
+        transformed.append(digits)
+        parity = parity + digits
+    return np.lexsort(tuple(reversed(transformed)))
+
+
+#: Named reordering strategies.
+STRATEGIES = {
+    "lexicographic": lexicographic_order,
+    "gray": gray_order,
+}
+
+
+def reorder_table(
+    table: IncompleteTable, permutation: np.ndarray
+) -> IncompleteTable:
+    """A new table whose row ``i`` is the old row ``permutation[i]``."""
+    permutation = np.asarray(permutation, dtype=np.int64)
+    if len(permutation) != table.num_records:
+        raise ReproError(
+            f"permutation length {len(permutation)} != {table.num_records} records"
+        )
+    if not np.array_equal(np.sort(permutation), np.arange(table.num_records)):
+        raise ReproError("permutation is not a bijection over record ids")
+    return table.take(permutation)
+
+
+def reorder(
+    table: IncompleteTable,
+    strategy: str = "gray",
+    attributes: list[str] | None = None,
+) -> tuple[IncompleteTable, np.ndarray]:
+    """Reorder a table by a named strategy; returns ``(table, permutation)``.
+
+    ``permutation[i]`` is the *original* record id now stored at position
+    ``i``; use it to translate query results on the reordered table back to
+    original ids.
+    """
+    try:
+        order_fn = STRATEGIES[strategy]
+    except KeyError:
+        raise ReproError(
+            f"unknown reordering strategy {strategy!r}; "
+            f"expected one of {sorted(STRATEGIES)}"
+        )
+    permutation = order_fn(table, attributes)
+    return reorder_table(table, permutation), permutation

@@ -1,0 +1,111 @@
+"""Dataset schemas: attribute specifications for incomplete tables.
+
+Attributes follow the paper's convention: each attribute ``A_i`` takes
+integer values in ``1..C_i`` (``C_i`` is the attribute *cardinality*) or is
+missing.  Internally, missing is coded as ``0`` — "the next smallest possible
+value outside the lower bound of the domain" in the paper's words — which
+keeps every coded column a dense non-negative integer array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+
+#: Internal integer code used for a missing value in every coded column.
+MISSING = 0
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeSpec:
+    """Specification of a single attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    cardinality:
+        Number of distinct non-missing values; the domain is ``1..cardinality``.
+    """
+
+    name: str
+    cardinality: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if self.cardinality < 1:
+            raise SchemaError(
+                f"attribute {self.name!r}: cardinality must be >= 1, "
+                f"got {self.cardinality}"
+            )
+
+    def validate_value(self, value: int) -> None:
+        """Raise :class:`SchemaError` unless ``value`` is in the domain or MISSING."""
+        if value != MISSING and not 1 <= value <= self.cardinality:
+            raise SchemaError(
+                f"value {value} outside domain 1..{self.cardinality} "
+                f"of attribute {self.name!r}"
+            )
+
+
+class Schema:
+    """An ordered collection of :class:`AttributeSpec` with unique names."""
+
+    __slots__ = ("_specs", "_by_name")
+
+    def __init__(self, specs: Iterable[AttributeSpec]):
+        self._specs: tuple[AttributeSpec, ...] = tuple(specs)
+        if not self._specs:
+            raise SchemaError("schema must contain at least one attribute")
+        self._by_name: dict[str, AttributeSpec] = {}
+        for spec in self._specs:
+            if spec.name in self._by_name:
+                raise SchemaError(f"duplicate attribute name {spec.name!r}")
+            self._by_name[spec.name] = spec
+
+    @classmethod
+    def from_cardinalities(cls, cardinalities: dict[str, int]) -> "Schema":
+        """Build a schema from ``{name: cardinality}`` pairs."""
+        return cls(AttributeSpec(n, c) for n, c in cardinalities.items())
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(spec.name for spec in self._specs)
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes (the paper's ``d``)."""
+        return len(self._specs)
+
+    def attribute(self, name: str) -> AttributeSpec:
+        """Look up an attribute spec by name."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"schema has no attribute named {name!r}")
+
+    def cardinality(self, name: str) -> int:
+        """Cardinality ``C_i`` of the named attribute."""
+        return self.attribute(name).cardinality
+
+    def __iter__(self) -> Iterator[AttributeSpec]:
+        return iter(self._specs)
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._specs == other._specs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{s.name}:C={s.cardinality}" for s in self._specs)
+        return f"Schema({inner})"

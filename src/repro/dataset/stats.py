@@ -1,0 +1,89 @@
+"""Dataset profiling: reproduce the composition tables (Table 7) from data.
+
+Given any :class:`~repro.dataset.table.IncompleteTable`, these helpers bucket
+attributes by cardinality and percent-missing, yielding the same kind of
+summary grid the paper prints for its synthetic and census datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataset.table import IncompleteTable
+
+
+@dataclass(frozen=True, slots=True)
+class AttributeProfile:
+    """Observed statistics for one attribute of a table."""
+
+    name: str
+    cardinality: int
+    observed_cardinality: int
+    missing_fraction: float
+
+
+def profile_table(table: IncompleteTable) -> list[AttributeProfile]:
+    """Per-attribute profile of a table, in schema order."""
+    return [
+        AttributeProfile(
+            name=spec.name,
+            cardinality=spec.cardinality,
+            observed_cardinality=table.observed_cardinality(spec.name),
+            missing_fraction=table.missing_fraction(spec.name),
+        )
+        for spec in table.schema
+    ]
+
+
+def composition_grid(
+    table: IncompleteTable,
+    cardinality_edges: list[int],
+    missing_pct_edges: list[float],
+) -> dict[tuple[str, str], int]:
+    """Bucket attributes into a (cardinality band, missing band) grid.
+
+    ``cardinality_edges`` and ``missing_pct_edges`` are ascending upper
+    bounds; an implicit final band collects everything above the last edge.
+    Returns ``{(card_band_label, missing_band_label): column_count}``.
+    """
+    card_labels = _band_labels(cardinality_edges)
+    missing_labels = _band_labels(missing_pct_edges)
+    grid: dict[tuple[str, str], int] = {}
+    for profile in profile_table(table):
+        card_band = _band_of(profile.cardinality, cardinality_edges, card_labels)
+        missing_band = _band_of(
+            profile.missing_fraction * 100.0, missing_pct_edges, missing_labels
+        )
+        key = (card_band, missing_band)
+        grid[key] = grid.get(key, 0) + 1
+    return grid
+
+
+def _band_labels(edges: list[float] | list[int]) -> list[str]:
+    labels = [f"<={edge:g}" for edge in edges]
+    labels.append(f">{edges[-1]:g}")
+    return labels
+
+
+def _band_of(value: float, edges: list[float] | list[int], labels: list[str]) -> str:
+    for edge, label in zip(edges, labels):
+        if value <= edge:
+            return label
+    return labels[-1]
+
+
+def summarize(table: IncompleteTable) -> dict[str, float]:
+    """Headline statistics mirroring the paper's dataset description."""
+    profiles = profile_table(table)
+    cardinalities = [p.cardinality for p in profiles]
+    missing = [p.missing_fraction for p in profiles]
+    return {
+        "num_records": float(table.num_records),
+        "num_attributes": float(len(profiles)),
+        "min_cardinality": float(min(cardinalities)),
+        "max_cardinality": float(max(cardinalities)),
+        "avg_cardinality": sum(cardinalities) / len(cardinalities),
+        "min_missing_pct": min(missing) * 100.0,
+        "max_missing_pct": max(missing) * 100.0,
+        "avg_missing_pct": sum(missing) / len(missing) * 100.0,
+    }

@@ -1,0 +1,117 @@
+"""Synthetic dataset generator reproducing the paper's Table 7 (left).
+
+The paper's synthetic dataset is "a uniformly distributed random dataset with
+450 attributes and 100,000 records", where attribute cardinality varies among
+{2, 5, 10, 20, 50, 100} and percent missing among {10, 20, 30, 40, 50}.  The
+column-count grid is::
+
+    Card  10% 20% 30% 40% 50%   Total
+      2    10  10  10  10  10     50
+      5    10  10  10  10  10     50
+     10    20  20  20  20  20    100
+     20    20  20  20  20  20    100
+     50    20  20  20  20  20    100
+    100    10  10  10  10  10     50
+    Total  90  90  90  90  90    450
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.schema import MISSING, AttributeSpec, Schema
+from repro.dataset.table import IncompleteTable
+
+#: Table 7 (left): columns per (cardinality, percent-missing) cell.
+TABLE7_SYNTHETIC_GRID: dict[int, dict[int, int]] = {
+    2: {10: 10, 20: 10, 30: 10, 40: 10, 50: 10},
+    5: {10: 10, 20: 10, 30: 10, 40: 10, 50: 10},
+    10: {10: 20, 20: 20, 30: 20, 40: 20, 50: 20},
+    20: {10: 20, 20: 20, 30: 20, 40: 20, 50: 20},
+    50: {10: 20, 20: 20, 30: 20, 40: 20, 50: 20},
+    100: {10: 10, 20: 10, 30: 10, 40: 10, 50: 10},
+}
+
+#: Number of records in the paper's synthetic dataset.
+PAPER_SYNTHETIC_RECORDS = 100_000
+
+
+def attribute_name(cardinality: int, pct_missing: int, index: int) -> str:
+    """Canonical name for synthetic attribute ``index`` of a (C, Pm) cell."""
+    return f"c{cardinality}_m{pct_missing}_{index}"
+
+
+def uniform_column(
+    num_records: int,
+    cardinality: int,
+    missing_fraction: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """One uniformly distributed coded column with i.i.d. missing cells.
+
+    Values are uniform over ``1..cardinality``; each cell is independently
+    missing with probability ``missing_fraction`` (missingness is random and
+    independent of the value, per the paper's synthetic setup).
+    """
+    if not 0.0 <= missing_fraction < 1.0:
+        raise ValueError(f"missing_fraction must be in [0, 1), got {missing_fraction}")
+    values = rng.integers(1, cardinality + 1, size=num_records, dtype=np.int64)
+    if missing_fraction > 0.0:
+        mask = rng.random(num_records) < missing_fraction
+        values[mask] = MISSING
+    return values
+
+
+def generate_synthetic(
+    num_records: int = PAPER_SYNTHETIC_RECORDS,
+    grid: dict[int, dict[int, int]] | None = None,
+    seed: int = 2006,
+) -> IncompleteTable:
+    """Generate the paper's full synthetic dataset (Table 7, left).
+
+    Parameters
+    ----------
+    num_records:
+        Rows to generate; defaults to the paper's 100,000.
+    grid:
+        ``{cardinality: {pct_missing: column_count}}``; defaults to
+        :data:`TABLE7_SYNTHETIC_GRID` (450 columns).
+    seed:
+        Seed for the deterministic PCG64 generator.
+    """
+    if grid is None:
+        grid = TABLE7_SYNTHETIC_GRID
+    rng = np.random.default_rng(seed)
+    specs: list[AttributeSpec] = []
+    columns: dict[str, np.ndarray] = {}
+    for cardinality, by_missing in grid.items():
+        for pct_missing, count in by_missing.items():
+            for index in range(count):
+                name = attribute_name(cardinality, pct_missing, index)
+                specs.append(AttributeSpec(name, cardinality))
+                columns[name] = uniform_column(
+                    num_records, cardinality, pct_missing / 100.0, rng
+                )
+    return IncompleteTable(Schema(specs), columns, validate=False)
+
+
+def generate_uniform_table(
+    num_records: int,
+    cardinalities: dict[str, int],
+    missing_fractions: dict[str, float],
+    seed: int = 0,
+) -> IncompleteTable:
+    """Generate an ad-hoc uniform table with per-attribute missing fractions.
+
+    A convenience used by experiments that sweep a single (C, Pm) cell rather
+    than materializing all 450 Table 7 columns.
+    """
+    rng = np.random.default_rng(seed)
+    schema = Schema.from_cardinalities(cardinalities)
+    columns = {
+        name: uniform_column(
+            num_records, card, missing_fractions.get(name, 0.0), rng
+        )
+        for name, card in cardinalities.items()
+    }
+    return IncompleteTable(schema, columns, validate=False)

@@ -1,0 +1,33 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Errors are raised eagerly on invalid input (queries out
+of an attribute's domain, schema mismatches, malformed compressed bitvectors)
+rather than returning sentinel values.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SchemaError(ReproError):
+    """A dataset schema is inconsistent or does not match the data."""
+
+
+class DomainError(ReproError):
+    """A value or query bound falls outside an attribute's domain ``1..C``."""
+
+
+class QueryError(ReproError):
+    """A query is malformed (unknown attribute, empty search key, ...)."""
+
+
+class IndexBuildError(ReproError):
+    """An index could not be built over the supplied table."""
+
+
+class CorruptIndexError(ReproError):
+    """A serialized index or compressed bitvector failed to decode."""

@@ -1,0 +1,31 @@
+"""Per-figure/table experiment drivers (shared by tests and benchmarks)."""
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig4 import run_fig4a, run_fig4b
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.harness import ExperimentResult, time_queries
+from repro.experiments.report import build_report, result_to_markdown, write_report
+from repro.experiments.realdata import (
+    CompressionReport,
+    census_range_workload,
+    run_real_compression,
+    run_real_query_time,
+)
+
+__all__ = [
+    "CompressionReport",
+    "ExperimentResult",
+    "build_report",
+    "result_to_markdown",
+    "write_report",
+    "census_range_workload",
+    "run_fig1",
+    "run_fig4a",
+    "run_fig4b",
+    "run_fig5a",
+    "run_fig5b",
+    "run_fig5c",
+    "run_real_compression",
+    "run_real_query_time",
+    "time_queries",
+]

@@ -1,0 +1,113 @@
+"""Command-line runner regenerating every figure and table in the paper.
+
+Usage::
+
+    python -m repro.experiments                 # everything, CI scale
+    python -m repro.experiments --scale paper   # the paper's dataset sizes
+    python -m repro.experiments --only fig4a fig5c
+
+Each experiment prints the same series the paper plots; EXPERIMENTS.md
+records a reference run next to the paper's reported values.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig4 import run_fig4a, run_fig4b
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.realdata import run_real_compression, run_real_query_time
+
+_SCALES = {
+    "ci": {"records": 30_000, "queries": 50, "census": 30_000, "rtree": 8_000},
+    "paper": {"records": 100_000, "queries": 100, "census": 100_000,
+              "rtree": 20_000},
+}
+
+
+def _experiments(scale: dict) -> dict[str, Callable[[], object]]:
+    return {
+        "fig1": lambda: run_fig1(
+            num_records=scale["rtree"], num_queries=max(10, scale["queries"] // 5)
+        ),
+        "fig4a": lambda: run_fig4a(num_records=scale["records"]),
+        "fig4b": lambda: run_fig4b(num_records=scale["records"]),
+        "fig5a": lambda: run_fig5a(
+            num_records=scale["records"], num_queries=scale["queries"]
+        ),
+        "fig5b": lambda: run_fig5b(
+            num_records=scale["records"], num_queries=scale["queries"]
+        ),
+        "fig5c": lambda: run_fig5c(
+            num_records=scale["records"], num_queries=scale["queries"]
+        ),
+        "real-compression": lambda: run_real_compression(
+            num_records=scale["census"]
+        )[0],
+        "real-query-time": lambda: run_real_query_time(
+            num_records=scale["census"], num_queries=scale["queries"]
+        ),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures and tables.",
+    )
+    parser.add_argument(
+        "--scale", choices=sorted(_SCALES), default="ci",
+        help="dataset scale (default: ci)",
+    )
+    parser.add_argument(
+        "--only", nargs="*", metavar="NAME",
+        help="run only the named experiments",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names and exit"
+    )
+    parser.add_argument(
+        "--output", metavar="FILE",
+        help="also write the results as a Markdown report",
+    )
+    args = parser.parse_args(argv)
+
+    experiments = _experiments(_SCALES[args.scale])
+    if args.list:
+        for name in experiments:
+            print(name)
+        return 0
+    selected = args.only if args.only else list(experiments)
+    unknown = [name for name in selected if name not in experiments]
+    if unknown:
+        parser.error(
+            f"unknown experiments {unknown}; choose from {list(experiments)}"
+        )
+    results = []
+    for name in selected:
+        start = time.perf_counter()
+        result = experiments[name]()
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        print()
+        print(result.format())
+        print(f"[{name} completed in {elapsed:.1f}s]")
+    if args.output:
+        from repro.experiments.report import write_report
+
+        write_report(
+            results,
+            args.output,
+            title="Indexing Incomplete Databases - reproduction run",
+            preamble=f"Scale: {args.scale}; experiments: {', '.join(selected)}.",
+        )
+        print(f"\nreport written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

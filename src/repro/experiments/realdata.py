@@ -1,0 +1,184 @@
+"""Section 5.2/5.3 real-data experiments on the census-like dataset.
+
+The paper's census results (the dataset itself is not redistributable; see
+DESIGN.md for the synthetic substitute) to reproduce:
+
+* **Compression (Section 5.2)** — overall WAH compression ratio ~0.17 for
+  equality encoding and ~0.70 for range encoding; attributes with >90%
+  missing data compress to 0.01–0.09 (BEE) and 0.11–0.44 (BRE).
+* **Query time (Section 5.3)** — bitmap solutions 3–10x faster than the
+  VA-file (in the words-processed cost model: skew lets WAH bitmaps operate
+  over far fewer words than the VA-file's fixed n-record scans), and BRE
+  faster than BEE for range queries spanning 20% of an attribute's values.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.bitvector.ops import OpCounter
+from repro.dataset.census import generate_census_like
+from repro.dataset.table import IncompleteTable
+from repro.experiments.harness import ExperimentResult
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+from repro.vafile.vafile import VAFile, VaQueryStats
+
+
+@dataclass
+class CompressionReport:
+    """Per-encoding compression summary over the census-like dataset."""
+
+    overall_bee_ratio: float
+    overall_bre_ratio: float
+    high_missing_bee_ratios: list[float]
+    high_missing_bre_ratios: list[float]
+    bee_below_01: int
+    bre_below_05: int
+    num_attributes: int
+
+
+def run_real_compression(
+    num_records: int = 50_000,
+    seed: int = 1990,
+) -> tuple[ExperimentResult, CompressionReport]:
+    """WAH compression ratios on the census-like dataset (Section 5.2)."""
+    table = generate_census_like(num_records=num_records, seed=seed)
+    bee = EqualityEncodedBitmapIndex(table, codec="wah")
+    bre = RangeEncodedBitmapIndex(table, codec="wah")
+    bee_report = bee.size_report()
+    bre_report = bre.size_report()
+
+    high_missing_names = [
+        spec.name
+        for spec in table.schema
+        if table.missing_fraction(spec.name) > 0.9
+    ]
+    bee_by_name = {r.attribute: r for r in bee_report.per_attribute}
+    bre_by_name = {r.attribute: r for r in bre_report.per_attribute}
+
+    report = CompressionReport(
+        overall_bee_ratio=bee_report.compression_ratio,
+        overall_bre_ratio=bre_report.compression_ratio,
+        high_missing_bee_ratios=[
+            bee_by_name[n].compression_ratio for n in high_missing_names
+        ],
+        high_missing_bre_ratios=[
+            bre_by_name[n].compression_ratio for n in high_missing_names
+        ],
+        bee_below_01=sum(
+            1 for r in bee_report.per_attribute if r.compression_ratio < 0.1
+        ),
+        bre_below_05=sum(
+            1 for r in bre_report.per_attribute if r.compression_ratio < 0.5
+        ),
+        num_attributes=table.schema.dimensionality,
+    )
+
+    result = ExperimentResult(
+        title=(
+            f"Sec. 5.2 - WAH compression on census-like data "
+            f"(48 attrs, n={num_records})"
+        ),
+        x_label="metric",
+        columns=["value"],
+    )
+    result.add_row("bee_overall_ratio", report.overall_bee_ratio)
+    result.add_row("bre_overall_ratio", report.overall_bre_ratio)
+    result.add_row("bee_attrs_below_0.1", float(report.bee_below_01))
+    result.add_row("bre_attrs_below_0.5", float(report.bre_below_05))
+    result.add_row("num_high_missing_attrs", float(len(high_missing_names)))
+    if high_missing_names:
+        result.add_row(
+            "high_missing_bee_ratio_max", max(report.high_missing_bee_ratios)
+        )
+        result.add_row(
+            "high_missing_bre_ratio_max", max(report.high_missing_bre_ratios)
+        )
+    result.notes.append(
+        "paper: BEE overall ~0.17 (23 attrs < 0.1), BRE overall ~0.70 "
+        "(18 attrs < 0.5); >90%-missing attrs: BEE 0.01-0.09, BRE 0.11-0.44"
+    )
+    return result, report
+
+
+def census_range_workload(
+    table: IncompleteTable,
+    num_queries: int = 100,
+    dimensionality: int = 4,
+    attribute_span: float = 0.2,
+    seed: int = 7,
+) -> list[RangeQuery]:
+    """Range queries spanning 20% of each queried attribute's values.
+
+    Mirrors the paper's real-data workload: "range queries over 20% of the
+    queried attribute possible values".  Attributes are drawn at random from
+    those with cardinality >= 5 so a 20% span is expressible.
+    """
+    rng = np.random.default_rng(seed)
+    eligible = [
+        spec.name for spec in table.schema if spec.cardinality >= 5
+    ]
+    queries = []
+    for _ in range(num_queries):
+        chosen = rng.choice(eligible, size=dimensionality, replace=False)
+        intervals = {}
+        for name in chosen:
+            cardinality = table.schema.cardinality(str(name))
+            width = max(1, round(attribute_span * cardinality))
+            lo = int(rng.integers(1, cardinality - width + 2))
+            intervals[str(name)] = Interval(lo, lo + width - 1)
+        queries.append(RangeQuery(intervals))
+    return queries
+
+
+def run_real_query_time(
+    num_records: int = 50_000,
+    num_queries: int = 100,
+    dimensionality: int = 4,
+    semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+    seed: int = 1990,
+) -> ExperimentResult:
+    """BEE vs BRE vs VA-file on the census-like dataset (Section 5.3)."""
+    table = generate_census_like(num_records=num_records, seed=seed)
+    queries = census_range_workload(
+        table, num_queries, dimensionality, seed=seed + 1
+    )
+    bee = EqualityEncodedBitmapIndex(table, codec="wah")
+    bre = RangeEncodedBitmapIndex(table, codec="wah")
+    va = VAFile(table)
+
+    result = ExperimentResult(
+        title=(
+            f"Sec. 5.3 - census-like query cost ({num_queries} queries, "
+            f"k={dimensionality}, 20% attribute spans, n={num_records})"
+        ),
+        x_label="technique",
+        columns=["time_ms", "words_processed", "bitmaps_touched"],
+    )
+    for name, index in (("bee", bee), ("bre", bre)):
+        counter = OpCounter()
+        start = time.perf_counter()
+        for query in queries:
+            index.execute(query, semantics, counter)
+        elapsed = (time.perf_counter() - start) * 1000.0
+        result.add_row(name, elapsed, counter.words_processed,
+                       counter.bitmaps_touched)
+    counter = OpCounter()
+    stats = VaQueryStats()
+    start = time.perf_counter()
+    for query in queries:
+        va.execute_ids(query, semantics, stats, counter)
+    elapsed = (time.perf_counter() - start) * 1000.0
+    result.add_row("vafile", elapsed, counter.words_processed, 0)
+    result.notes.append(
+        "paper: bitmaps 3-10x faster than the VA-file on this skewed data; "
+        "BRE faster than BEE (range-query workload).  Compare via "
+        "words_processed: wall-clock mixes Python-loop bitmap ops with "
+        "numpy-vectorized VA scans (see EXPERIMENTS.md)"
+    )
+    return result

@@ -1,0 +1,53 @@
+"""Markdown report generation for experiment runs.
+
+Turns a list of :class:`~repro.experiments.harness.ExperimentResult` objects
+into one self-contained Markdown document (tables + notes), so a
+reproduction run can be archived or diffed against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from repro.experiments.harness import ExperimentResult, _fmt
+
+
+def result_to_markdown(result: ExperimentResult) -> str:
+    """One experiment as a Markdown section with a pipe table."""
+    lines = [f"## {result.title}", ""]
+    headers = [result.x_label, *result.columns]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in result.rows:
+        lines.append("| " + " | ".join(_fmt(cell) for cell in row) + " |")
+    for note in result.notes:
+        lines.append("")
+        lines.append(f"> {note}")
+    return "\n".join(lines)
+
+
+def build_report(
+    results: Sequence[ExperimentResult],
+    title: str = "Reproduction run",
+    preamble: str | None = None,
+) -> str:
+    """A full Markdown document covering every result."""
+    parts = [f"# {title}", ""]
+    if preamble:
+        parts.extend([preamble, ""])
+    for result in results:
+        parts.append(result_to_markdown(result))
+        parts.append("")
+    return "\n".join(parts).rstrip() + "\n"
+
+
+def write_report(
+    results: Sequence[ExperimentResult],
+    path: str | os.PathLike,
+    title: str = "Reproduction run",
+    preamble: str | None = None,
+) -> None:
+    """Write the Markdown report to ``path``."""
+    with open(path, "w", encoding="utf-8") as out:
+        out.write(build_report(results, title, preamble))

@@ -1,0 +1,40 @@
+"""Query model, boolean predicates, ground truth, and workload generation."""
+
+from repro.query.boolean import (
+    And,
+    Atom,
+    Not,
+    Or,
+    Predicate,
+    evaluate_predicate,
+    evaluate_predicate_mask,
+    from_range_query,
+)
+from repro.query.ground_truth import evaluate, evaluate_mask, selectivity, validate_query
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+from repro.query.workload import (
+    WorkloadGenerator,
+    attribute_selectivity_for,
+    expected_global_selectivity,
+)
+
+__all__ = [
+    "And",
+    "Atom",
+    "Interval",
+    "MissingSemantics",
+    "Not",
+    "Or",
+    "Predicate",
+    "RangeQuery",
+    "evaluate_predicate",
+    "evaluate_predicate_mask",
+    "from_range_query",
+    "WorkloadGenerator",
+    "attribute_selectivity_for",
+    "evaluate",
+    "evaluate_mask",
+    "expected_global_selectivity",
+    "selectivity",
+    "validate_query",
+]

@@ -1,0 +1,252 @@
+"""Boolean predicate trees over interval atoms (library extension).
+
+The paper formalizes conjunctive range queries only, but the bit-wise
+machinery it builds on (Section 4.1: "OR, XOR, AND and NOT are commonly
+used") evaluates arbitrary boolean combinations for free.  This module adds
+a small predicate algebra:
+
+* :class:`Atom` — one interval constraint on one attribute;
+* :class:`And` / :class:`Or` / :class:`Not` — combinators.
+
+**Missing-data semantics are compositional over atoms**: each atom first
+resolves to its record set under the chosen
+:class:`~repro.query.model.MissingSemantics` (exactly as in the paper), and
+the combinators are ordinary set operations on those results.  In
+particular ``Not(atom)`` is the complement of the atom's match set — under
+missing-is-a-match a record with a missing value satisfies the atom, so it
+does *not* satisfy the negation.  This keeps every execution engine (oracle
+scan, bitmap indexes, VA-file) trivially consistent.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import QueryError
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+
+
+class Predicate(abc.ABC):
+    """A boolean predicate over a table's attributes."""
+
+    @abc.abstractmethod
+    def attributes(self) -> frozenset[str]:
+        """Attributes referenced anywhere in the predicate tree."""
+
+    @abc.abstractmethod
+    def atoms(self) -> Iterator["Atom"]:
+        """All interval atoms in the tree."""
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or((self, other))
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class Atom(Predicate):
+    """An interval constraint ``lo <= attribute <= hi``."""
+
+    attribute: str
+    interval: Interval
+
+    @classmethod
+    def of(cls, attribute: str, lo: int, hi: int | None = None) -> "Atom":
+        """Convenience constructor; ``hi`` defaults to ``lo`` (point atom)."""
+        return cls(attribute, Interval(lo, lo if hi is None else hi))
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset((self.attribute,))
+
+    def atoms(self) -> Iterator["Atom"]:
+        yield self
+
+    def __repr__(self) -> str:
+        return f"Atom({self.attribute} {self.interval})"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of child predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise QueryError("And requires at least one child")
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(c.attributes() for c in self.children))
+
+    def atoms(self) -> Iterator[Atom]:
+        for child in self.children:
+            yield from child.atoms()
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of child predicates."""
+
+    children: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if not self.children:
+            raise QueryError("Or requires at least one child")
+
+    def attributes(self) -> frozenset[str]:
+        return frozenset().union(*(c.attributes() for c in self.children))
+
+    def atoms(self) -> Iterator[Atom]:
+        for child in self.children:
+            yield from child.atoms()
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a child predicate (set complement of its matches)."""
+
+    child: Predicate
+
+    def attributes(self) -> frozenset[str]:
+        return self.child.attributes()
+
+    def atoms(self) -> Iterator[Atom]:
+        yield from self.child.atoms()
+
+
+def from_range_query(query: RangeQuery) -> Predicate:
+    """The predicate equivalent of a conjunctive range query."""
+    atoms = [Atom(name, interval) for name, interval in query.items()]
+    if len(atoms) == 1:
+        return atoms[0]
+    return And(tuple(atoms))
+
+
+# -- oracle evaluation ----------------------------------------------------------
+
+def evaluate_predicate_mask(
+    table,
+    predicate: Predicate,
+    semantics: MissingSemantics,
+) -> np.ndarray:
+    """Ground-truth boolean mask for a predicate via direct column scans."""
+    if isinstance(predicate, Atom):
+        column = table.column(predicate.attribute)
+        cardinality = table.schema.cardinality(predicate.attribute)
+        if predicate.interval.hi > cardinality:
+            from repro.errors import DomainError
+
+            raise DomainError(
+                f"interval {predicate.interval} exceeds domain "
+                f"1..{cardinality} of attribute {predicate.attribute!r}"
+            )
+        mask = (column >= predicate.interval.lo) & (
+            column <= predicate.interval.hi
+        )
+        if semantics is MissingSemantics.IS_MATCH:
+            mask |= column == 0
+        return mask
+    if isinstance(predicate, And):
+        masks = [
+            evaluate_predicate_mask(table, child, semantics)
+            for child in predicate.children
+        ]
+        return np.logical_and.reduce(masks)
+    if isinstance(predicate, Or):
+        masks = [
+            evaluate_predicate_mask(table, child, semantics)
+            for child in predicate.children
+        ]
+        return np.logical_or.reduce(masks)
+    if isinstance(predicate, Not):
+        return ~evaluate_predicate_mask(table, predicate.child, semantics)
+    raise QueryError(f"unknown predicate type {type(predicate).__name__}")
+
+
+def evaluate_predicate(
+    table,
+    predicate: Predicate,
+    semantics: MissingSemantics,
+) -> np.ndarray:
+    """Sorted matching record ids for a predicate (ground truth)."""
+    return np.flatnonzero(evaluate_predicate_mask(table, predicate, semantics))
+
+
+# -- index execution -------------------------------------------------------------
+
+def execute_on_bitmap_index(
+    index,
+    predicate: Predicate,
+    semantics: MissingSemantics,
+    counter=None,
+):
+    """Evaluate a predicate tree on any bitmap index; returns a bitvector.
+
+    Atoms go through the index's paper-faithful interval evaluation; the
+    combinators become the corresponding bitvector operations.
+    """
+    if isinstance(predicate, Atom):
+        return index.evaluate_interval(
+            predicate.attribute, predicate.interval, semantics, counter
+        )
+    if isinstance(predicate, (And, Or)):
+        results = [
+            execute_on_bitmap_index(index, child, semantics, counter)
+            for child in predicate.children
+        ]
+        combined = results[0]
+        for nxt in results[1:]:
+            if counter is not None:
+                counter.record_binary(combined, nxt)
+            combined = (combined & nxt) if isinstance(predicate, And) else (
+                combined | nxt
+            )
+        return combined
+    if isinstance(predicate, Not):
+        inner = execute_on_bitmap_index(index, predicate.child, semantics, counter)
+        if counter is not None:
+            counter.record_not(inner)
+        return ~inner
+    raise QueryError(f"unknown predicate type {type(predicate).__name__}")
+
+
+def execute_on_vafile(
+    vafile,
+    predicate: Predicate,
+    semantics: MissingSemantics,
+    stats=None,
+) -> np.ndarray:
+    """Evaluate a predicate tree on a VA-file; returns a boolean mask.
+
+    Each atom runs the full scan-and-refine pipeline (so the result is
+    exact), then the combinators merge the per-atom masks.
+    """
+    if isinstance(predicate, Atom):
+        query = RangeQuery({predicate.attribute: predicate.interval})
+        ids = vafile.execute_ids(query, semantics, stats)
+        mask = np.zeros(vafile.num_records, dtype=bool)
+        mask[ids] = True
+        return mask
+    if isinstance(predicate, And):
+        masks = [
+            execute_on_vafile(vafile, child, semantics, stats)
+            for child in predicate.children
+        ]
+        return np.logical_and.reduce(masks)
+    if isinstance(predicate, Or):
+        masks = [
+            execute_on_vafile(vafile, child, semantics, stats)
+            for child in predicate.children
+        ]
+        return np.logical_or.reduce(masks)
+    if isinstance(predicate, Not):
+        return ~execute_on_vafile(vafile, predicate.child, semantics, stats)
+    raise QueryError(f"unknown predicate type {type(predicate).__name__}")

@@ -1,0 +1,70 @@
+"""Brute-force query evaluation: the correctness oracle for every index.
+
+Evaluates a :class:`~repro.query.model.RangeQuery` directly over the coded
+columns of an :class:`~repro.dataset.table.IncompleteTable`, implementing the
+paper's Section 3 answer definitions verbatim:
+
+* missing-is-a-match: ``t`` answers ``Q`` iff every search-key attribute of
+  ``t`` is missing or falls in its interval;
+* missing-is-not-a-match: ``t`` answers ``Q`` iff every search-key attribute
+  of ``t`` is present and falls in its interval.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dataset.schema import MISSING
+from repro.dataset.table import IncompleteTable
+from repro.errors import DomainError, QueryError
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+def validate_query(table: IncompleteTable, query: RangeQuery) -> None:
+    """Check that every query interval fits its attribute's domain."""
+    for name, interval in query.items():
+        if name not in table.schema:
+            raise QueryError(f"query names unknown attribute {name!r}")
+        cardinality = table.schema.cardinality(name)
+        if interval.hi > cardinality:
+            raise DomainError(
+                f"interval {interval} exceeds domain 1..{cardinality} "
+                f"of attribute {name!r}"
+            )
+
+
+def evaluate_mask(
+    table: IncompleteTable,
+    query: RangeQuery,
+    semantics: MissingSemantics,
+) -> np.ndarray:
+    """Boolean answer mask over all records, by direct column comparison."""
+    validate_query(table, query)
+    result = np.ones(table.num_records, dtype=bool)
+    for name, interval in query.items():
+        column = table.column(name)
+        in_range = (column >= interval.lo) & (column <= interval.hi)
+        if semantics is MissingSemantics.IS_MATCH:
+            in_range |= column == MISSING
+        result &= in_range
+    return result
+
+
+def evaluate(
+    table: IncompleteTable,
+    query: RangeQuery,
+    semantics: MissingSemantics,
+) -> np.ndarray:
+    """Sorted array of matching record ids."""
+    return np.flatnonzero(evaluate_mask(table, query, semantics))
+
+
+def selectivity(
+    table: IncompleteTable,
+    query: RangeQuery,
+    semantics: MissingSemantics,
+) -> float:
+    """Observed global selectivity of ``query`` over ``table``."""
+    if table.num_records == 0:
+        return 0.0
+    return float(evaluate_mask(table, query, semantics).mean())

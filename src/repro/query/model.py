@@ -1,0 +1,154 @@
+"""Query model: intervals, range queries, and missing-data semantics.
+
+The paper (Section 3) defines retrieval over a ``k``-dimensional search key
+where each attribute in the key carries an interval ``v1 <= A_i <= v2`` with
+``1 <= v1 <= v2 <= C_i``.  A *point query* is a range query whose bounds
+coincide on every attribute.
+
+Two query semantics are defined for incomplete data:
+
+* :attr:`MissingSemantics.IS_MATCH` — a tuple matches when every search-key
+  attribute is either missing or falls inside its interval.
+* :attr:`MissingSemantics.NOT_MATCH` — a tuple matches only when every
+  search-key attribute is present *and* falls inside its interval.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import DomainError, QueryError
+
+
+class MissingSemantics(enum.Enum):
+    """How missing attribute values interact with a query interval."""
+
+    #: A missing value counts as satisfying any interval on that attribute.
+    IS_MATCH = "is_match"
+    #: A missing value disqualifies the record for that attribute.
+    NOT_MATCH = "not_match"
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A closed interval ``lo <= A <= hi`` over an attribute's domain.
+
+    Bounds are inclusive and 1-based, matching the paper's convention that
+    attribute domains are the integers ``1..C``.
+    """
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo < 1:
+            raise DomainError(f"interval lower bound must be >= 1, got {self.lo}")
+        if self.hi < self.lo:
+            raise DomainError(
+                f"interval upper bound {self.hi} is below lower bound {self.lo}"
+            )
+
+    @property
+    def is_point(self) -> bool:
+        """Whether this interval selects a single value."""
+        return self.lo == self.hi
+
+    @property
+    def width(self) -> int:
+        """Number of domain values covered by the interval."""
+        return self.hi - self.lo + 1
+
+    def contains(self, value: int) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lo <= value <= self.hi
+
+    def selectivity(self, cardinality: int) -> float:
+        """Attribute selectivity ``AS = (v2 - v1 + 1) / C`` from the paper."""
+        if cardinality < self.hi:
+            raise DomainError(
+                f"interval {self} exceeds attribute cardinality {cardinality}"
+            )
+        return self.width / cardinality
+
+    def __str__(self) -> str:
+        if self.is_point:
+            return f"= {self.lo}"
+        return f"in [{self.lo}, {self.hi}]"
+
+
+class RangeQuery:
+    """A conjunctive multi-attribute range query.
+
+    Maps attribute names to :class:`Interval` constraints.  All constraints
+    are ANDed: a record answers the query when every constrained attribute
+    satisfies its interval under the chosen :class:`MissingSemantics`.
+
+    Parameters
+    ----------
+    intervals:
+        Mapping from attribute name to the interval constraining it.  Must be
+        non-empty.
+    """
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Mapping[str, Interval]):
+        if not intervals:
+            raise QueryError("a range query requires at least one interval")
+        self._intervals: dict[str, Interval] = dict(intervals)
+
+    @classmethod
+    def from_bounds(cls, bounds: Mapping[str, tuple[int, int]]) -> "RangeQuery":
+        """Build a query from ``{attribute: (lo, hi)}`` pairs."""
+        return cls({name: Interval(lo, hi) for name, (lo, hi) in bounds.items()})
+
+    @classmethod
+    def point(cls, values: Mapping[str, int]) -> "RangeQuery":
+        """Build a point query from ``{attribute: value}`` pairs."""
+        return cls({name: Interval(v, v) for name, v in values.items()})
+
+    @property
+    def attributes(self) -> tuple[str, ...]:
+        """The attributes named in the search key, in insertion order."""
+        return tuple(self._intervals)
+
+    @property
+    def dimensionality(self) -> int:
+        """Number of attributes in the search key (the paper's ``k``)."""
+        return len(self._intervals)
+
+    @property
+    def is_point(self) -> bool:
+        """Whether every interval selects a single value."""
+        return all(iv.is_point for iv in self._intervals.values())
+
+    def interval(self, attribute: str) -> Interval:
+        """The interval constraining ``attribute``."""
+        try:
+            return self._intervals[attribute]
+        except KeyError:
+            raise QueryError(f"query does not constrain attribute {attribute!r}")
+
+    def items(self) -> Iterator[tuple[str, Interval]]:
+        """Iterate ``(attribute, interval)`` pairs."""
+        return iter(self._intervals.items())
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self._intervals
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeQuery):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted(self._intervals.items())))
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{name} {iv}" for name, iv in self._intervals.items())
+        return f"RangeQuery({parts})"

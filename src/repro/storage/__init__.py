@@ -1,0 +1,27 @@
+"""On-disk index files for bitmap indexes and VA-files."""
+
+from repro.storage.serialize import (
+    dump_bitmap_index,
+    dump_vafile,
+    load_bitmap_index,
+    load_bitmap_index_file,
+    load_vafile,
+    load_vafile_file,
+    pack_codes,
+    save_bitmap_index,
+    save_vafile,
+    unpack_codes,
+)
+
+__all__ = [
+    "dump_bitmap_index",
+    "dump_vafile",
+    "load_bitmap_index",
+    "load_bitmap_index_file",
+    "load_vafile",
+    "load_vafile_file",
+    "pack_codes",
+    "save_bitmap_index",
+    "save_vafile",
+    "unpack_codes",
+]

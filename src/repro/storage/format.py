@@ -1,0 +1,124 @@
+"""Binary on-disk format for bitmap indexes and VA-files.
+
+The paper measures "the size of the requisite index files on disk"; this
+module makes that concrete with a compact binary container:
+
+* header: magic ``RPIX``, format version, index kind, codec, record count;
+* per attribute: name, cardinality, missing flag, then the bitvector
+  payloads (bitmap indexes) or the bit budget, quantizer edges, and packed
+  code array (VA-files).
+
+All integers are little-endian.  Loading validates the magic, version, and
+payload lengths, raising :class:`CorruptIndexError` on any mismatch — an
+index file is small enough that eager validation is cheap insurance.
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import numpy as np
+
+from repro.errors import CorruptIndexError
+
+MAGIC = b"RPIX"
+VERSION = 1
+
+#: Index kinds supported by the container.
+KIND_BITMAP = 1
+KIND_VAFILE = 2
+
+#: Bitvector codec tags.
+CODEC_TAGS = {"none": 0, "wah": 1, "bbc": 2}
+CODEC_NAMES = {tag: name for name, tag in CODEC_TAGS.items()}
+
+
+def write_header(out: io.BufferedIOBase, kind: int, codec_tag: int,
+                 num_records: int, num_attributes: int) -> None:
+    """Write the container header."""
+    out.write(MAGIC)
+    out.write(struct.pack("<BBBxQI", VERSION, kind, codec_tag,
+                          num_records, num_attributes))
+
+
+def read_header(data: io.BufferedIOBase) -> tuple[int, int, int, int]:
+    """Read and validate the container header.
+
+    Returns ``(kind, codec_tag, num_records, num_attributes)``.
+    """
+    magic = data.read(4)
+    if magic != MAGIC:
+        raise CorruptIndexError(f"bad magic {magic!r}; not a repro index file")
+    raw = data.read(struct.calcsize("<BBBxQI"))
+    if len(raw) != struct.calcsize("<BBBxQI"):
+        raise CorruptIndexError("truncated index header")
+    version, kind, codec_tag, num_records, num_attributes = struct.unpack(
+        "<BBBxQI", raw
+    )
+    if version != VERSION:
+        raise CorruptIndexError(
+            f"unsupported index format version {version} (expected {VERSION})"
+        )
+    if kind not in (KIND_BITMAP, KIND_VAFILE):
+        raise CorruptIndexError(f"unknown index kind tag {kind}")
+    if codec_tag not in CODEC_NAMES:
+        raise CorruptIndexError(f"unknown codec tag {codec_tag}")
+    return kind, codec_tag, num_records, num_attributes
+
+
+def write_str(out: io.BufferedIOBase, text: str) -> None:
+    """Write a length-prefixed UTF-8 string."""
+    encoded = text.encode("utf-8")
+    out.write(struct.pack("<H", len(encoded)))
+    out.write(encoded)
+
+
+def read_str(data: io.BufferedIOBase) -> str:
+    """Read a length-prefixed UTF-8 string."""
+    raw = data.read(2)
+    if len(raw) != 2:
+        raise CorruptIndexError("truncated string length")
+    (length,) = struct.unpack("<H", raw)
+    encoded = data.read(length)
+    if len(encoded) != length:
+        raise CorruptIndexError("truncated string payload")
+    return encoded.decode("utf-8")
+
+
+def write_bytes(out: io.BufferedIOBase, payload: bytes) -> None:
+    """Write a length-prefixed byte blob."""
+    out.write(struct.pack("<Q", len(payload)))
+    out.write(payload)
+
+
+def read_bytes(data: io.BufferedIOBase) -> bytes:
+    """Read a length-prefixed byte blob, bounding the length eagerly."""
+    raw = data.read(8)
+    if len(raw) != 8:
+        raise CorruptIndexError("truncated blob length")
+    (length,) = struct.unpack("<Q", raw)
+    # A corrupted length field must not drive a huge (or overflowing) read:
+    # cap it by what the stream can actually still hold.
+    position = data.tell()
+    data.seek(0, io.SEEK_END)
+    remaining = data.tell() - position
+    data.seek(position)
+    if length > remaining:
+        raise CorruptIndexError(
+            f"blob declares {length} bytes but only {remaining} remain"
+        )
+    return data.read(length)
+
+
+def write_int_array(out: io.BufferedIOBase, values: np.ndarray,
+                    dtype: str) -> None:
+    """Write a length-prefixed integer array of the given dtype."""
+    array = np.asarray(values).astype(dtype)
+    write_bytes(out, array.tobytes())
+
+
+def read_int_array(data: io.BufferedIOBase, dtype: str) -> np.ndarray:
+    """Read a length-prefixed integer array of the given dtype."""
+    payload = read_bytes(data)
+    return np.frombuffer(payload, dtype=dtype).copy()

@@ -1,0 +1,21 @@
+"""VA-files (vector approximation files) with missing-data support."""
+
+from repro.vafile.allocator import allocate_bits, expected_boundary_fraction
+from repro.vafile.quantizer import (
+    MISSING_CODE,
+    QuantileQuantizer,
+    UniformQuantizer,
+    default_bits,
+)
+from repro.vafile.vafile import VAFile, VaQueryStats
+
+__all__ = [
+    "MISSING_CODE",
+    "allocate_bits",
+    "expected_boundary_fraction",
+    "QuantileQuantizer",
+    "UniformQuantizer",
+    "VAFile",
+    "VaQueryStats",
+    "default_bits",
+]

@@ -1,0 +1,210 @@
+"""Quantizers mapping attribute values to VA-file bin codes.
+
+Section 4.5: "For each attribute ``A_i`` in the database we use ``b_i`` bits
+to represent ``2**b_i`` bins that enclose the entire attribute domain. ...
+we use ``2**b - 1`` possible representations for data values and we use a
+string of ``b`` 0's to represent missing data values."
+
+The default bit budget is the paper's ``b_i = ceil(lg(C_i + 1))``, which
+gives every domain value its own bin (codes are then exact and the
+refinement step never fires).  Smaller budgets — as in the paper's Tables
+5–6 example, two bits for a cardinality-6 attribute — create multi-value
+bins and exercise the approximate-then-refine pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+import numpy as np
+
+from repro.errors import DomainError, IndexBuildError
+
+#: Bin code reserved for missing values (the all-zeros bit string).
+MISSING_CODE = 0
+
+
+def default_bits(cardinality: int) -> int:
+    """The paper's bit budget: ``ceil(lg(C + 1))``."""
+    return max(1, math.ceil(math.log2(cardinality + 1)))
+
+
+class UniformQuantizer:
+    """Partitions the domain ``1..C`` into ``2**bits - 1`` contiguous bins.
+
+    A value maps to code ``floor((v - 1) * nbins / C) + 1``; bin code ``b``
+    therefore covers values ``ceil((b-1) * C / nbins) + 1 .. ceil(b * C / nbins)``
+    (possibly empty when ``nbins > C``).  Code 0 is the missing-value code.
+    When ``nbins >= C`` the mapping is injective on the domain and some high
+    codes go unused.
+    """
+
+    __slots__ = ("_cardinality", "_bits", "_nbins")
+
+    def __init__(self, cardinality: int, bits: int | None = None):
+        if cardinality < 1:
+            raise IndexBuildError(f"cardinality must be >= 1, got {cardinality}")
+        if bits is None:
+            bits = default_bits(cardinality)
+        if bits < 1:
+            raise IndexBuildError(f"bits must be >= 1, got {bits}")
+        self._cardinality = cardinality
+        self._bits = bits
+        self._nbins = (1 << bits) - 1
+
+    @property
+    def cardinality(self) -> int:
+        """Domain size ``C``."""
+        return self._cardinality
+
+    @property
+    def bits(self) -> int:
+        """Bits per stored approximation (``b_i``)."""
+        return self._bits
+
+    @property
+    def nbins(self) -> int:
+        """Number of value bins (codes ``1..nbins``); code 0 is missing."""
+        return self._nbins
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized value -> code mapping; input code 0 (missing) passes through."""
+        values = np.asarray(values, dtype=np.int64)
+        codes = (values - 1) * self._nbins // self._cardinality + 1
+        codes[values == 0] = MISSING_CODE
+        return codes
+
+    def encode_value(self, value: int) -> int:
+        """Code for a single present value."""
+        if not 1 <= value <= self._cardinality:
+            raise DomainError(
+                f"value {value} outside domain 1..{self._cardinality}"
+            )
+        return (value - 1) * self._nbins // self._cardinality + 1
+
+    def bin_range(self, code: int) -> tuple[int, int]:
+        """Inclusive value range ``(lo, hi)`` covered by a bin code.
+
+        This is the paper's lookup table relating "attribute values to the
+        appropriate bin number" (Table 6).  Unused high bins return an empty
+        range with ``lo > hi``.
+        """
+        if not 1 <= code <= self._nbins:
+            raise DomainError(f"bin code {code} outside 1..{self._nbins}")
+        lo = -(-(code - 1) * self._cardinality // self._nbins) + 1
+        hi = -(-code * self._cardinality // self._nbins)
+        return lo, hi
+
+    def lookup_table(self) -> list[tuple[int, int, int]]:
+        """All ``(code, lo, hi)`` rows, Table-6 style (excluding the missing row)."""
+        return [(code, *self.bin_range(code)) for code in range(1, self._nbins + 1)]
+
+    def is_exact(self) -> bool:
+        """True when every bin covers at most one domain value."""
+        return self._nbins >= self._cardinality
+
+
+class QuantileQuantizer:
+    """Non-uniform (VA+-style) quantizer with data-driven bin boundaries.
+
+    The paper's future-work pointer [6] quantizes skewed data so bins hold
+    roughly equal record counts.  Boundaries are chosen from the observed
+    distribution of *present* values; code 0 remains the missing code.
+
+    Parameters
+    ----------
+    cardinality:
+        Domain size ``C``.
+    values:
+        Observed coded column (0 = missing) used to place boundaries.
+    bits:
+        Bits per approximation; defaults to the paper's budget.
+    """
+
+    __slots__ = ("_cardinality", "_bits", "_nbins", "_upper_edges")
+
+    def __init__(
+        self,
+        cardinality: int,
+        values: np.ndarray,
+        bits: int | None = None,
+    ):
+        if cardinality < 1:
+            raise IndexBuildError(f"cardinality must be >= 1, got {cardinality}")
+        if bits is None:
+            bits = default_bits(cardinality)
+        self._cardinality = cardinality
+        self._bits = bits
+        self._nbins = (1 << bits) - 1
+        present = np.asarray(values, dtype=np.int64)
+        present = present[present != 0]
+        self._upper_edges = self._place_edges(present)
+
+    def _place_edges(self, present: np.ndarray) -> np.ndarray:
+        """Upper (inclusive) value edge per bin, covering the whole domain."""
+        nbins = min(self._nbins, self._cardinality)
+        if len(present) == 0:
+            # No data: fall back to a uniform partition.
+            edges = np.array(
+                [b * self._cardinality // nbins for b in range(1, nbins + 1)],
+                dtype=np.int64,
+            )
+        else:
+            quantiles = np.quantile(
+                present, np.linspace(0, 1, nbins + 1)[1:], method="inverted_cdf"
+            ).astype(np.int64)
+            edges = np.maximum.accumulate(quantiles)
+            # Force strictly increasing edges so no bin is empty of domain
+            # coverage, then pin the last edge to C.
+            for i in range(1, len(edges)):
+                if edges[i] <= edges[i - 1]:
+                    edges[i] = min(self._cardinality, edges[i - 1] + 1)
+            edges[-1] = self._cardinality
+            edges = np.unique(edges)
+        return edges
+
+    @property
+    def cardinality(self) -> int:
+        """Domain size ``C``."""
+        return self._cardinality
+
+    @property
+    def bits(self) -> int:
+        """Bits per stored approximation."""
+        return self._bits
+
+    @property
+    def nbins(self) -> int:
+        """Number of usable value bins."""
+        return len(self._upper_edges)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Vectorized value -> code mapping; 0 (missing) passes through."""
+        values = np.asarray(values, dtype=np.int64)
+        codes = np.searchsorted(self._upper_edges, values, side="left") + 1
+        codes = codes.astype(np.int64)
+        codes[values == 0] = MISSING_CODE
+        return codes
+
+    def encode_value(self, value: int) -> int:
+        """Code for a single present value."""
+        if not 1 <= value <= self._cardinality:
+            raise DomainError(
+                f"value {value} outside domain 1..{self._cardinality}"
+            )
+        return int(np.searchsorted(self._upper_edges, value, side="left")) + 1
+
+    def bin_range(self, code: int) -> tuple[int, int]:
+        """Inclusive value range ``(lo, hi)`` covered by a bin code."""
+        if not 1 <= code <= self.nbins:
+            raise DomainError(f"bin code {code} outside 1..{self.nbins}")
+        lo = 1 if code == 1 else int(self._upper_edges[code - 2]) + 1
+        hi = int(self._upper_edges[code - 1])
+        return lo, hi
+
+    def lookup_table(self) -> list[tuple[int, int, int]]:
+        """All ``(code, lo, hi)`` rows."""
+        return [(code, *self.bin_range(code)) for code in range(1, self.nbins + 1)]
+
+    def is_exact(self) -> bool:
+        """True when every bin covers at most one domain value."""
+        return all(lo == hi for _, lo, hi in self.lookup_table())

@@ -1,0 +1,107 @@
+"""Unit and property tests for the B+-tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.bptree import BPlusTree
+from repro.errors import IndexBuildError
+
+
+class TestBasics:
+    def test_empty_tree(self):
+        tree = BPlusTree()
+        assert tree.search(5) == []
+        assert tree.range_search(1, 10) == []
+        assert tree.num_keys == 0
+        assert tree.height() == 1
+
+    def test_single_insert(self):
+        tree = BPlusTree()
+        tree.insert(3, 7)
+        assert tree.search(3) == [7]
+        assert tree.num_entries == 1
+
+    def test_duplicate_keys_accumulate(self):
+        tree = BPlusTree()
+        for rid in (1, 2, 3):
+            tree.insert(5, rid)
+        assert tree.search(5) == [1, 2, 3]
+        assert tree.num_keys == 1
+        assert tree.num_entries == 3
+
+    def test_min_order_rejected(self):
+        with pytest.raises(IndexBuildError):
+            BPlusTree(max_keys=2)
+
+    def test_height_grows_with_splits(self):
+        tree = BPlusTree(max_keys=3)
+        for key in range(100):
+            tree.insert(key, key)
+        assert tree.height() >= 3
+        tree.check_invariants()
+
+    def test_node_accesses_counted(self):
+        tree = BPlusTree(max_keys=4)
+        for key in range(64):
+            tree.insert(key, key)
+        tree.node_accesses = 0
+        tree.search(10)
+        assert tree.node_accesses == tree.height()
+
+
+class TestRangeSearch:
+    @pytest.fixture
+    def tree_and_ref(self, rng):
+        tree = BPlusTree(max_keys=5)
+        ref: dict[int, list[int]] = {}
+        keys = rng.integers(0, 40, size=300)
+        for rid, key in enumerate(keys):
+            tree.insert(int(key), rid)
+            ref.setdefault(int(key), []).append(rid)
+        return tree, ref
+
+    def test_full_range(self, tree_and_ref):
+        tree, ref = tree_and_ref
+        expect = sorted(r for ids in ref.values() for r in ids)
+        assert sorted(tree.range_search(0, 40)) == expect
+
+    def test_partial_ranges(self, tree_and_ref):
+        tree, ref = tree_and_ref
+        for lo, hi in [(0, 0), (5, 15), (39, 40), (20, 20)]:
+            expect = sorted(
+                r for k, ids in ref.items() if lo <= k <= hi for r in ids
+            )
+            assert sorted(tree.range_search(lo, hi)) == expect
+
+    def test_empty_range(self, tree_and_ref):
+        tree, _ = tree_and_ref
+        assert tree.range_search(10, 5) == []
+        assert tree.range_search(100, 200) == []
+
+    def test_items_in_key_order(self, tree_and_ref):
+        tree, ref = tree_and_ref
+        keys = [k for k, _ in tree.items()]
+        assert keys == sorted(ref)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    keys=st.lists(st.integers(min_value=-50, max_value=50), max_size=300),
+    max_keys=st.integers(min_value=3, max_value=12),
+)
+def test_property_invariants_and_parity(keys, max_keys):
+    tree = BPlusTree(max_keys=max_keys)
+    ref: dict[int, list[int]] = {}
+    for rid, key in enumerate(keys):
+        tree.insert(key, rid)
+        ref.setdefault(key, []).append(rid)
+    tree.check_invariants()
+    assert tree.num_keys == len(ref)
+    assert tree.num_entries == len(keys)
+    for lo, hi in [(-50, 50), (-10, 10), (0, 0), (7, 23)]:
+        expect = sorted(r for k, ids in ref.items() if lo <= k <= hi for r in ids)
+        assert sorted(tree.range_search(lo, hi)) == expect
+    for key in list(ref)[:10]:
+        assert tree.search(key) == ref[key]

@@ -1,0 +1,97 @@
+"""Unit tests for the grid-file space-partitioning baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gridfile import GridFileIndex, GridQueryStats
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import IndexBuildError, QueryError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(
+        800, {"x": 40, "y": 16}, {"x": 0.2, "y": 0.3}, seed=151
+    )
+
+
+class TestConstruction:
+    def test_invalid_params_rejected(self, table):
+        with pytest.raises(IndexBuildError):
+            GridFileIndex(table, [])
+        with pytest.raises(IndexBuildError):
+            GridFileIndex(table, strips_per_dim=0)
+
+    def test_cells_partition_all_records(self, table):
+        grid = GridFileIndex(table, strips_per_dim=4)
+        assert sum(grid.occupancy().values()) == 800
+        assert grid.num_cells > 1
+
+    def test_sentinel_strips_concentrate_missing_records(self, table):
+        # The paper's lesser-dimensioned-subspace effect: cells on the
+        # sentinel strips hold the missing records.
+        grid = GridFileIndex(table, strips_per_dim=4)
+        missing_x = int(table.missing_mask("x").sum())
+        sentinel_cells = sum(
+            count for key, count in grid.occupancy().items() if key[0] == 0
+        )
+        assert sentinel_cells == missing_x
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strips", [1, 4, 8, 64])
+    def test_matches_oracle(self, table, rng, strips):
+        grid = GridFileIndex(table, strips_per_dim=strips)
+        for _ in range(25):
+            lo_x = int(rng.integers(1, 41)); hi_x = int(rng.integers(lo_x, 41))
+            lo_y = int(rng.integers(1, 17)); hi_y = int(rng.integers(lo_y, 17))
+            query = RangeQuery.from_bounds({"x": (lo_x, hi_x), "y": (lo_y, hi_y)})
+            for semantics in MissingSemantics:
+                expect = evaluate(table, query, semantics)
+                assert np.array_equal(grid.execute_ids(query, semantics), expect)
+
+    def test_partial_key_query(self, table):
+        grid = GridFileIndex(table, strips_per_dim=4)
+        query = RangeQuery.from_bounds({"x": (5, 20)})
+        for semantics in MissingSemantics:
+            expect = evaluate(table, query, semantics)
+            assert np.array_equal(grid.execute_ids(query, semantics), expect)
+
+    def test_unknown_attribute_rejected(self, table):
+        grid = GridFileIndex(table, ["x"])
+        with pytest.raises(QueryError):
+            grid.execute_ids(
+                RangeQuery.from_bounds({"y": (1, 2)}), MissingSemantics.IS_MATCH
+            )
+
+
+class TestDegradation:
+    def test_subquery_expansion_under_is_match(self, table):
+        grid = GridFileIndex(table)
+        stats = GridQueryStats()
+        grid.execute_ids(
+            RangeQuery.from_bounds({"x": (1, 10), "y": (1, 4)}),
+            MissingSemantics.IS_MATCH,
+            stats,
+        )
+        assert stats.subqueries == 4  # 2^k
+
+    def test_missing_data_increases_inspection_cost(self):
+        # The paper's claim: partitioning benefit is lost under missing data.
+        complete = generate_uniform_table(
+            2000, {"x": 40, "y": 40}, {"x": 0.0, "y": 0.0}, seed=152
+        )
+        holey = generate_uniform_table(
+            2000, {"x": 40, "y": 40}, {"x": 0.4, "y": 0.4}, seed=152
+        )
+        query = RangeQuery.from_bounds({"x": (1, 10), "y": (1, 10)})
+
+        def inspected(table):
+            grid = GridFileIndex(table, strips_per_dim=8)
+            stats = GridQueryStats()
+            grid.execute_ids(query, MissingSemantics.IS_MATCH, stats)
+            return stats.records_inspected
+
+        assert inspected(holey) > 2 * inspected(complete)

@@ -1,0 +1,100 @@
+"""Unit tests for the MOSAIC baseline (per-attribute B+-trees)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.mosaic import MosaicIndex, MosaicStats
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import DomainError, IndexBuildError, QueryError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(
+        800, {"a": 10, "b": 4}, {"a": 0.3, "b": 0.1}, seed=21
+    )
+
+
+@pytest.fixture
+def index(table):
+    return MosaicIndex(table)
+
+
+class TestCorrectness:
+    def test_matches_oracle_both_semantics(self, table, index, rng):
+        for _ in range(40):
+            lo_a = int(rng.integers(1, 11))
+            hi_a = int(rng.integers(lo_a, 11))
+            lo_b = int(rng.integers(1, 5))
+            hi_b = int(rng.integers(lo_b, 5))
+            query = RangeQuery.from_bounds({"a": (lo_a, hi_a), "b": (lo_b, hi_b)})
+            for semantics in MissingSemantics:
+                expect = evaluate(table, query, semantics)
+                assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+    def test_single_attribute_query(self, table, index):
+        query = RangeQuery.from_bounds({"a": (2, 2)})
+        expect = evaluate(table, query, MissingSemantics.NOT_MATCH)
+        assert np.array_equal(
+            index.execute_ids(query, MissingSemantics.NOT_MATCH), expect
+        )
+
+
+class TestStats:
+    def test_set_operations_counted(self, index):
+        stats = MosaicStats()
+        index.execute_ids(
+            RangeQuery.from_bounds({"a": (1, 5), "b": (1, 2)}),
+            MissingSemantics.IS_MATCH,
+            stats,
+        )
+        # One union per attribute (missing postings) + one intersection.
+        assert stats.set_operations == 3
+        assert stats.queries == 1
+        assert stats.node_accesses > 0
+        assert stats.ids_materialized > 0
+
+    def test_not_match_skips_missing_union(self, index):
+        stats = MosaicStats()
+        index.execute_ids(
+            RangeQuery.from_bounds({"a": (1, 5), "b": (1, 2)}),
+            MissingSemantics.NOT_MATCH,
+            stats,
+        )
+        assert stats.set_operations == 1  # just the intersection
+
+    def test_ids_materialized_exceed_result_size(self, table, index):
+        # The paper's criticism: per-attribute result sets are large even
+        # when the final conjunction is small.
+        stats = MosaicStats()
+        result = index.execute_ids(
+            RangeQuery.from_bounds({"a": (1, 5), "b": (1, 2)}),
+            MissingSemantics.IS_MATCH,
+            stats,
+        )
+        assert stats.ids_materialized > len(result)
+
+
+class TestValidation:
+    def test_empty_attribute_list_rejected(self, table):
+        with pytest.raises(IndexBuildError):
+            MosaicIndex(table, [])
+
+    def test_unknown_attribute_rejected(self, index):
+        with pytest.raises(QueryError):
+            index.execute_ids(
+                RangeQuery.from_bounds({"zz": (1, 2)}), MissingSemantics.IS_MATCH
+            )
+
+    def test_out_of_domain_rejected(self, index):
+        with pytest.raises(DomainError):
+            index.execute_ids(
+                RangeQuery.from_bounds({"a": (1, 11)}), MissingSemantics.IS_MATCH
+            )
+
+    def test_tree_accessor(self, index):
+        assert index.tree("a").num_entries == 800
+        with pytest.raises(QueryError):
+            index.tree("zz")

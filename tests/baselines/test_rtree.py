@@ -1,0 +1,113 @@
+"""Unit and property tests for the R-tree substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.rtree import RTree
+from repro.errors import IndexBuildError
+
+
+class TestConstruction:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(IndexBuildError):
+            RTree(ndims=0)
+        with pytest.raises(IndexBuildError):
+            RTree(ndims=2, max_entries=3)
+
+    def test_wrong_point_shape_rejected(self):
+        tree = RTree(ndims=2)
+        with pytest.raises(IndexBuildError):
+            tree.insert([1.0, 2.0, 3.0], 0)
+
+    def test_bulk_load_requires_2d_array(self):
+        with pytest.raises(IndexBuildError):
+            RTree.bulk_load(np.zeros(5))
+
+    def test_bulk_load_empty(self):
+        tree = RTree.bulk_load(np.zeros((0, 2)))
+        assert len(tree) == 0
+        assert tree.range_search([0, 0], [1, 1]) == []
+
+
+class TestSearchParity:
+    @pytest.fixture(params=["dynamic", "bulk"])
+    def tree_and_points(self, request, rng):
+        points = rng.random((400, 2)) * 50
+        if request.param == "dynamic":
+            tree = RTree(ndims=2, max_entries=8)
+            for rid, point in enumerate(points):
+                tree.insert(point, rid)
+        else:
+            tree = RTree.bulk_load(points, max_entries=8)
+        return tree, points
+
+    def test_matches_brute_force(self, tree_and_points, rng):
+        tree, points = tree_and_points
+        tree.check_invariants()
+        for _ in range(30):
+            lo = rng.random(2) * 40
+            hi = lo + rng.random(2) * 20
+            expect = set(
+                np.flatnonzero(
+                    np.all((points >= lo) & (points <= hi), axis=1)
+                ).tolist()
+            )
+            assert set(tree.range_search(lo, hi)) == expect
+
+    def test_empty_box(self, tree_and_points):
+        tree, _ = tree_and_points
+        assert tree.range_search([100, 100], [110, 110]) == []
+
+    def test_node_accesses_grow_with_box_size(self, tree_and_points):
+        tree, _ = tree_and_points
+        tree.node_accesses = 0
+        tree.range_search([0, 0], [1, 1])
+        small = tree.node_accesses
+        tree.node_accesses = 0
+        tree.range_search([0, 0], [50, 50])
+        large = tree.node_accesses
+        assert large > small
+
+
+class TestDuplicatePoints:
+    def test_many_identical_points_split_fine(self):
+        # The sentinel pathology in miniature: identical coordinates must not
+        # break quadratic splits.
+        tree = RTree(ndims=2, max_entries=4)
+        for rid in range(50):
+            tree.insert([1.0, 1.0], rid)
+        tree.check_invariants()
+        assert sorted(tree.range_search([1, 1], [1, 1])) == list(range(50))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=20),
+            st.integers(min_value=0, max_value=20),
+        ),
+        max_size=120,
+    )
+)
+def test_property_dynamic_tree_parity(coords):
+    points = np.array(coords, dtype=float).reshape(-1, 2)
+    tree = RTree(ndims=2, max_entries=5)
+    for rid, point in enumerate(points):
+        tree.insert(point, rid)
+    if len(points):
+        tree.check_invariants()
+    for lo, hi in [((0, 0), (20, 20)), ((5, 5), (10, 10)), ((3, 0), (3, 20))]:
+        lo = np.array(lo, dtype=float)
+        hi = np.array(hi, dtype=float)
+        if len(points):
+            expect = set(
+                np.flatnonzero(
+                    np.all((points >= lo) & (points <= hi), axis=1)
+                ).tolist()
+            )
+        else:
+            expect = set()
+        assert set(tree.range_search(lo, hi)) == expect

@@ -1,0 +1,167 @@
+"""Unit tests for the sentinel R-tree and bitstring-augmented baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bitstring import BitstringAugmentedIndex, BitstringQueryStats
+from repro.baselines.sentinel_rtree import RTreeQueryStats, SentinelRTreeIndex
+from repro.baselines.seqscan import ScanStats, SequentialScan
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import IndexBuildError, QueryError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(
+        600, {"x": 20, "y": 10}, {"x": 0.25, "y": 0.15}, seed=31
+    )
+
+
+class TestSentinelRTree:
+    @pytest.mark.parametrize("bulk", [False, True])
+    def test_matches_oracle(self, table, rng, bulk):
+        index = SentinelRTreeIndex(table, bulk=bulk)
+        for _ in range(25):
+            lo_x = int(rng.integers(1, 21)); hi_x = int(rng.integers(lo_x, 21))
+            lo_y = int(rng.integers(1, 11)); hi_y = int(rng.integers(lo_y, 11))
+            query = RangeQuery.from_bounds({"x": (lo_x, hi_x), "y": (lo_y, hi_y)})
+            for semantics in MissingSemantics:
+                expect = evaluate(table, query, semantics)
+                assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+    def test_is_match_expands_to_2_to_the_k_subqueries(self, table):
+        index = SentinelRTreeIndex(table, bulk=True)
+        stats = RTreeQueryStats()
+        index.execute_ids(
+            RangeQuery.from_bounds({"x": (1, 5), "y": (1, 5)}),
+            MissingSemantics.IS_MATCH,
+            stats,
+        )
+        assert stats.subqueries == 4
+
+    def test_not_match_needs_one_subquery(self, table):
+        index = SentinelRTreeIndex(table, bulk=True)
+        stats = RTreeQueryStats()
+        index.execute_ids(
+            RangeQuery.from_bounds({"x": (1, 5), "y": (1, 5)}),
+            MissingSemantics.NOT_MATCH,
+            stats,
+        )
+        assert stats.subqueries == 1
+
+    def test_complete_attributes_skip_sentinel_probes(self):
+        complete = generate_uniform_table(
+            200, {"x": 10, "y": 10}, {"x": 0.0, "y": 0.0}, seed=1
+        )
+        index = SentinelRTreeIndex(complete, bulk=True)
+        stats = RTreeQueryStats()
+        index.execute_ids(
+            RangeQuery.from_bounds({"x": (1, 5), "y": (1, 5)}),
+            MissingSemantics.IS_MATCH,
+            stats,
+        )
+        assert stats.subqueries == 1
+
+    def test_partial_key_query(self, table):
+        index = SentinelRTreeIndex(table, bulk=True)
+        query = RangeQuery.from_bounds({"x": (3, 9)})
+        for semantics in MissingSemantics:
+            expect = evaluate(table, query, semantics)
+            assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+    def test_unknown_attribute_rejected(self, table):
+        index = SentinelRTreeIndex(table, ["x"], bulk=True)
+        with pytest.raises(QueryError):
+            index.execute_ids(
+                RangeQuery.from_bounds({"y": (1, 2)}), MissingSemantics.IS_MATCH
+            )
+
+    def test_empty_attribute_list_rejected(self, table):
+        with pytest.raises(IndexBuildError):
+            SentinelRTreeIndex(table, [])
+
+
+class TestBitstringAugmented:
+    @pytest.mark.parametrize("bulk", [True, False])
+    def test_matches_oracle(self, table, rng, bulk):
+        index = BitstringAugmentedIndex(table, bulk=bulk)
+        for _ in range(20):
+            lo_x = int(rng.integers(1, 21)); hi_x = int(rng.integers(lo_x, 21))
+            lo_y = int(rng.integers(1, 11)); hi_y = int(rng.integers(lo_y, 11))
+            query = RangeQuery.from_bounds({"x": (lo_x, hi_x), "y": (lo_y, hi_y)})
+            for semantics in MissingSemantics:
+                expect = evaluate(table, query, semantics)
+                assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+    def test_mean_imputation_value(self, table):
+        index = BitstringAugmentedIndex(table)
+        column = table.column("x")
+        present = column[column != 0]
+        assert index.mean("x") == pytest.approx(float(present.mean()))
+
+    def test_mean_of_fully_missing_column_is_domain_midpoint(self):
+        table = generate_uniform_table(50, {"x": 9}, {"x": 0.0}, seed=2)
+        # Force a fully-missing column.
+        import numpy as np
+        from repro.dataset.schema import AttributeSpec, Schema
+        from repro.dataset.table import IncompleteTable
+
+        schema = Schema([AttributeSpec("x", 9)])
+        all_missing = IncompleteTable(schema, {"x": np.zeros(50, dtype=np.int64)})
+        index = BitstringAugmentedIndex(all_missing)
+        assert index.mean("x") == pytest.approx(5.0)
+
+    def test_subquery_expansion_counts(self, table):
+        index = BitstringAugmentedIndex(table)
+        stats = BitstringQueryStats()
+        query = RangeQuery.from_bounds({"x": (1, 5), "y": (1, 5)})
+        index.execute_ids(query, MissingSemantics.IS_MATCH, stats)
+        assert stats.subqueries == 4
+        stats = BitstringQueryStats()
+        index.execute_ids(query, MissingSemantics.NOT_MATCH, stats)
+        assert stats.subqueries == 1
+        assert stats.bitstring_checks >= 0
+
+    def test_mean_collision_filtered_by_bitstring(self):
+        # A present value that coincides with the imputation mean must not be
+        # misreported as missing (and vice versa).
+        import numpy as np
+        from repro.dataset.schema import AttributeSpec, Schema
+        from repro.dataset.table import IncompleteTable
+
+        schema = Schema([AttributeSpec("x", 5)])
+        # Present values {2, 4} -> mean 3.0; one record has the real value 3.
+        column = np.array([2, 4, 3, 0, 2, 4])
+        table = IncompleteTable(schema, {"x": column})
+        index = BitstringAugmentedIndex(table)
+        query = RangeQuery.from_bounds({"x": (3, 3)})
+        assert index.execute_ids(query, MissingSemantics.NOT_MATCH).tolist() == [2]
+        assert index.execute_ids(query, MissingSemantics.IS_MATCH).tolist() == [2, 3]
+
+    def test_unknown_attribute_rejected(self, table):
+        index = BitstringAugmentedIndex(table, ["x"])
+        with pytest.raises(QueryError):
+            index.execute_ids(
+                RangeQuery.from_bounds({"y": (1, 2)}), MissingSemantics.IS_MATCH
+            )
+        with pytest.raises(QueryError):
+            index.mean("zz")
+
+    def test_empty_attribute_list_rejected(self, table):
+        with pytest.raises(IndexBuildError):
+            BitstringAugmentedIndex(table, [])
+
+
+class TestSequentialScan:
+    def test_matches_oracle_with_stats(self, table):
+        scan = SequentialScan(table)
+        stats = ScanStats()
+        query = RangeQuery.from_bounds({"x": (2, 8), "y": (1, 4)})
+        for semantics in MissingSemantics:
+            expect = evaluate(table, query, semantics)
+            assert np.array_equal(scan.execute_ids(query, semantics, stats), expect)
+        assert stats.queries == 2
+        assert stats.cells_scanned == 2 * 600 * 2
+        assert scan.num_records == 600

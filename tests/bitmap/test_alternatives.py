@@ -1,0 +1,90 @@
+"""Unit tests for the paper's rejected alternative encodings (ablations)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.alternatives import (
+    FlaggedRangeEncodedIndex,
+    InlineMissingEqualityIndex,
+)
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import IndexBuildError, QueryError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(800, {"a": 10}, {"a": 0.25}, seed=11)
+
+
+class TestInlineMissingEquality:
+    def test_correct_for_built_semantics(self, table, rng):
+        for built_for in MissingSemantics:
+            index = InlineMissingEqualityIndex(
+                table, codec="none", built_for=built_for
+            )
+            for _ in range(20):
+                lo = int(rng.integers(1, 11))
+                hi = int(rng.integers(lo, 11))
+                query = RangeQuery.from_bounds({"a": (lo, hi)})
+                expect = evaluate(table, query, built_for)
+                assert np.array_equal(index.execute_ids(query, built_for), expect)
+
+    def test_rejects_other_semantics(self, table):
+        index = InlineMissingEqualityIndex(
+            table, built_for=MissingSemantics.IS_MATCH
+        )
+        with pytest.raises(QueryError, match="built for"):
+            index.execute(
+                RangeQuery.from_bounds({"a": (1, 2)}),
+                MissingSemantics.NOT_MATCH,
+            )
+
+    def test_cardinality_one_degenerate_case_rejected(self):
+        # The paper: "it would also be impossible to distinguish between
+        # missing values and a real value when the cardinality is 1".
+        degenerate = generate_uniform_table(100, {"a": 1}, {"a": 0.3}, seed=1)
+        with pytest.raises(IndexBuildError, match="cardinality 1"):
+            InlineMissingEqualityIndex(degenerate)
+
+    def test_match_mode_hurts_compression(self):
+        # All-ones rows for missing records interrupt the 0-runs: the paper's
+        # compression argument against this encoding.  The effect needs
+        # bitmaps sparse enough for WAH fills to form (larger n, higher C).
+        sparse = generate_uniform_table(20_000, {"a": 50}, {"a": 0.2}, seed=3)
+        inline = InlineMissingEqualityIndex(
+            sparse, codec="wah", built_for=MissingSemantics.IS_MATCH
+        )
+        standard = EqualityEncodedBitmapIndex(sparse, codec="wah")
+        assert inline.nbytes() > standard.nbytes()
+
+    def test_no_separate_missing_bitmap(self, table):
+        index = InlineMissingEqualityIndex(table, codec="none")
+        assert index.num_bitmaps("a") == 10  # C only
+
+
+class TestFlaggedRangeEncoded:
+    def test_correct_under_both_semantics(self, table, rng):
+        index = FlaggedRangeEncodedIndex(table, codec="none")
+        for _ in range(20):
+            lo = int(rng.integers(1, 11))
+            hi = int(rng.integers(lo, 11))
+            query = RangeQuery.from_bounds({"a": (lo, hi)})
+            for semantics in MissingSemantics:
+                expect = evaluate(table, query, semantics)
+                assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+    def test_stores_one_more_bitmap_than_bre(self, table):
+        # C + 1 bitmaps (B_0..B_C) versus the chosen encoding's C.
+        flagged = FlaggedRangeEncodedIndex(table, codec="none")
+        standard = RangeEncodedBitmapIndex(table, codec="none")
+        assert flagged.num_bitmaps("a") == standard.num_bitmaps("a") + 1
+        assert flagged.num_bitmaps("a") == 11
+
+    def test_complete_attribute_drops_top_bitmap_again(self):
+        complete = generate_uniform_table(100, {"a": 10}, {"a": 0.0}, seed=2)
+        index = FlaggedRangeEncodedIndex(complete, codec="none")
+        assert index.num_bitmaps("a") == 9  # back to C - 1 without missing

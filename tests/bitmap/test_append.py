@@ -1,0 +1,122 @@
+"""Unit tests for incremental appends to bitmap indexes."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.alternatives import FlaggedRangeEncodedIndex
+from repro.bitmap.bitsliced import BitSlicedIndex
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.dataset.synthetic import generate_uniform_table
+from repro.dataset.table import concat_tables
+from repro.errors import IndexBuildError, SchemaError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+
+ENCODINGS = [
+    BitSlicedIndex,
+    EqualityEncodedBitmapIndex,
+    RangeEncodedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+    FlaggedRangeEncodedIndex,
+]
+
+QUERY = RangeQuery.from_bounds({"a": (2, 7), "b": (1, 2)})
+
+
+@pytest.fixture
+def base_and_chunk():
+    base = generate_uniform_table(
+        400, {"a": 10, "b": 3}, {"a": 0.2, "b": 0.1}, seed=71
+    )
+    chunk = generate_uniform_table(
+        150, {"a": 10, "b": 3}, {"a": 0.4, "b": 0.0}, seed=72
+    )
+    return base, chunk
+
+
+class TestConcatTables:
+    def test_concat_appends_rows(self, base_and_chunk):
+        base, chunk = base_and_chunk
+        combined = concat_tables(base, chunk)
+        assert combined.num_records == 550
+        assert np.array_equal(combined.column("a")[:400], base.column("a"))
+        assert np.array_equal(combined.column("a")[400:], chunk.column("a"))
+
+    def test_schema_mismatch_rejected(self, base_and_chunk):
+        base, _ = base_and_chunk
+        other = generate_uniform_table(10, {"a": 10}, {}, seed=1)
+        with pytest.raises(SchemaError):
+            concat_tables(base, other)
+
+
+class TestAppend:
+    @pytest.mark.parametrize("cls", ENCODINGS)
+    @pytest.mark.parametrize("codec", ["none", "wah"])
+    def test_append_equals_rebuild(self, base_and_chunk, cls, codec):
+        base, chunk = base_and_chunk
+        combined = concat_tables(base, chunk)
+        incremental = cls(base, codec=codec)
+        incremental.append(chunk)
+        rebuilt = cls(combined, codec=codec)
+        assert incremental.num_records == 550
+        semantics_list = (
+            [incremental.built_for]
+            if hasattr(incremental, "built_for")
+            else list(MissingSemantics)
+        )
+        for semantics in semantics_list:
+            expect = evaluate(combined, QUERY, semantics)
+            assert np.array_equal(incremental.execute_ids(QUERY, semantics), expect)
+            assert np.array_equal(rebuilt.execute_ids(QUERY, semantics), expect)
+
+    @pytest.mark.parametrize("cls", ENCODINGS)
+    def test_first_missing_value_materializes_b0(self, cls):
+        complete = generate_uniform_table(200, {"a": 10}, {"a": 0.0}, seed=73)
+        with_missing = generate_uniform_table(100, {"a": 10}, {"a": 0.5}, seed=74)
+        index = cls(complete, codec="wah")
+        assert not index.has_missing("a")
+        index.append(with_missing)
+        assert index.has_missing("a")
+        combined = concat_tables(complete, with_missing)
+        query = RangeQuery.from_bounds({"a": (3, 6)})
+        semantics_list = (
+            [index.built_for] if hasattr(index, "built_for")
+            else list(MissingSemantics)
+        )
+        for semantics in semantics_list:
+            expect = evaluate(combined, query, semantics)
+            assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+    def test_multiple_appends(self, base_and_chunk):
+        base, chunk = base_and_chunk
+        index = RangeEncodedBitmapIndex(base, codec="wah")
+        table = base
+        for seed in (80, 81, 82):
+            extra = generate_uniform_table(
+                60, {"a": 10, "b": 3}, {"a": 0.3, "b": 0.2}, seed=seed
+            )
+            index.append(extra)
+            table = concat_tables(table, extra)
+        for semantics in MissingSemantics:
+            expect = evaluate(table, QUERY, semantics)
+            assert np.array_equal(index.execute_ids(QUERY, semantics), expect)
+
+    def test_cardinality_mismatch_rejected(self, base_and_chunk):
+        base, _ = base_and_chunk
+        wrong = generate_uniform_table(10, {"a": 11, "b": 3}, {}, seed=75)
+        index = RangeEncodedBitmapIndex(base)
+        with pytest.raises(IndexBuildError, match="cardinality"):
+            index.append(wrong)
+
+    def test_empty_chunk_is_a_noop(self, base_and_chunk):
+        base, _ = base_and_chunk
+        empty = generate_uniform_table(0, {"a": 10, "b": 3}, {}, seed=76)
+        index = EqualityEncodedBitmapIndex(base, codec="wah")
+        before = index.execute_ids(QUERY, MissingSemantics.IS_MATCH)
+        index.append(empty)
+        assert index.num_records == 400
+        assert np.array_equal(
+            index.execute_ids(QUERY, MissingSemantics.IS_MATCH), before
+        )

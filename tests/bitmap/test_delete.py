@@ -1,0 +1,112 @@
+"""Unit tests for tombstone deletion and compaction."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.dataset.synthetic import generate_uniform_table
+from repro.dataset.table import concat_tables
+from repro.errors import QueryError
+from repro.query.boolean import Atom
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+
+ENCODINGS = [
+    EqualityEncodedBitmapIndex,
+    RangeEncodedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+]
+
+QUERY = RangeQuery.from_bounds({"a": (2, 8)})
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(500, {"a": 10}, {"a": 0.2}, seed=111)
+
+
+class TestDelete:
+    @pytest.mark.parametrize("cls", ENCODINGS)
+    def test_deleted_records_never_match(self, table, cls):
+        index = cls(table, codec="wah")
+        victims = index.execute_ids(QUERY, MissingSemantics.IS_MATCH)[:10]
+        assert index.delete(victims) == 10
+        assert index.deleted_count == 10
+        for semantics in MissingSemantics:
+            survivors = index.execute_ids(QUERY, semantics)
+            assert set(survivors.tolist()).isdisjoint(victims.tolist())
+
+    def test_delete_is_idempotent(self, table):
+        index = RangeEncodedBitmapIndex(table)
+        assert index.delete([1, 2, 3]) == 3
+        assert index.delete([2, 3, 4]) == 1
+        assert index.deleted_count == 4
+
+    def test_delete_applies_to_predicates(self, table):
+        index = RangeEncodedBitmapIndex(table)
+        predicate = ~Atom.of("a", 9, 10)
+        before = set(
+            index.execute_predicate_ids(predicate, MissingSemantics.IS_MATCH).tolist()
+        )
+        victim = next(iter(before))
+        index.delete([victim])
+        after = set(
+            index.execute_predicate_ids(predicate, MissingSemantics.IS_MATCH).tolist()
+        )
+        assert after == before - {victim}
+
+    def test_delete_out_of_range_rejected(self, table):
+        index = RangeEncodedBitmapIndex(table)
+        with pytest.raises(QueryError):
+            index.delete([500])
+        with pytest.raises(QueryError):
+            index.delete([-1])
+
+    def test_counts_respect_tombstones(self, table):
+        index = EqualityEncodedBitmapIndex(table)
+        before = index.execute_count(QUERY, MissingSemantics.IS_MATCH)
+        victims = index.execute_ids(QUERY, MissingSemantics.IS_MATCH)[:5]
+        index.delete(victims)
+        assert index.execute_count(QUERY, MissingSemantics.IS_MATCH) == before - 5
+
+
+class TestAppendAfterDelete:
+    def test_appended_records_are_alive(self, table):
+        index = RangeEncodedBitmapIndex(table, codec="wah")
+        index.delete(np.arange(50))
+        chunk = generate_uniform_table(100, {"a": 10}, {"a": 0.2}, seed=112)
+        index.append(chunk)
+        combined = concat_tables(table, chunk)
+        expect = set(
+            evaluate(combined, QUERY, MissingSemantics.IS_MATCH).tolist()
+        ) - set(range(50))
+        got = set(index.execute_ids(QUERY, MissingSemantics.IS_MATCH).tolist())
+        assert got == expect
+
+
+class TestCompact:
+    @pytest.mark.parametrize("cls", ENCODINGS)
+    def test_compact_preserves_answers_via_mapping(self, table, cls):
+        index = cls(table, codec="wah")
+        index.delete(np.arange(0, 500, 7))
+        expected = set(index.execute_ids(QUERY, MissingSemantics.IS_MATCH).tolist())
+        mapping = index.compact()
+        assert index.deleted_count == 0
+        assert index.num_records == 500 - len(range(0, 500, 7))
+        new_ids = index.execute_ids(QUERY, MissingSemantics.IS_MATCH)
+        assert set(mapping[new_ids].tolist()) == expected
+
+    def test_compact_without_deletes_is_identity(self, table):
+        index = RangeEncodedBitmapIndex(table)
+        mapping = index.compact()
+        assert np.array_equal(mapping, np.arange(500))
+        assert index.num_records == 500
+
+    def test_compact_shrinks_index(self, table):
+        index = EqualityEncodedBitmapIndex(table, codec="none")
+        before = index.nbytes()
+        index.delete(np.arange(250))
+        index.compact()
+        assert index.nbytes() < before

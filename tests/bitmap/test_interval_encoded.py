@@ -1,0 +1,105 @@
+"""Unit tests for the interval-encoded (BIE) bitmap index extension."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.bitvector.ops import OpCounter
+from repro.dataset.synthetic import generate_uniform_table
+from repro.query.ground_truth import evaluate
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+
+
+class TestEncoding:
+    def test_window_length(self):
+        assert IntervalEncodedBitmapIndex.window_length(10) == 5
+        assert IntervalEncodedBitmapIndex.window_length(9) == 5
+        assert IntervalEncodedBitmapIndex.window_length(1) == 1
+
+    def test_stores_about_half_as_many_bitmaps(self):
+        table = generate_uniform_table(200, {"a": 10}, {"a": 0.2}, seed=1)
+        interval_index = IntervalEncodedBitmapIndex(table, codec="none")
+        equality = EqualityEncodedBitmapIndex(table, codec="none")
+        range_encoded = RangeEncodedBitmapIndex(table, codec="none")
+        # C=10, m=5: windows 1..6 plus B_0 = 7 bitmaps.
+        assert interval_index.num_bitmaps("a") == 7
+        assert interval_index.num_bitmaps("a") < range_encoded.num_bitmaps("a")
+        assert interval_index.num_bitmaps("a") < equality.num_bitmaps("a")
+
+    def test_window_bitmap_contents(self, paper_table):
+        # C=5, m=3: I_1 covers 1-3, I_2 covers 2-4, I_3 covers 3-5.
+        index = IntervalEncodedBitmapIndex(paper_table, codec="none")
+        values = paper_table.column("a1")
+        for j, window_lo in ((1, 1), (2, 2), (3, 3)):
+            expect = (values >= window_lo) & (values <= window_lo + 2)
+            assert np.array_equal(
+                index.bitmap("a1", j).to_bools(), expect
+            ), j
+
+    def test_missing_bitmap_present(self, paper_table):
+        index = IntervalEncodedBitmapIndex(paper_table, codec="none")
+        assert index.has_missing("a1")
+        assert index.bitmap("a1", 0).to_indices().tolist() == [3, 8]
+
+
+class TestExhaustiveCorrectness:
+    @pytest.mark.parametrize("cardinality", [1, 2, 3, 4, 5, 6, 9, 10, 17])
+    @pytest.mark.parametrize("missing", [0.0, 0.3])
+    def test_every_interval_both_semantics(self, cardinality, missing):
+        table = generate_uniform_table(
+            400, {"a": cardinality}, {"a": missing}, seed=cardinality
+        )
+        index = IntervalEncodedBitmapIndex(table, codec="none")
+        for lo in range(1, cardinality + 1):
+            for hi in range(lo, cardinality + 1):
+                query = RangeQuery({"a": Interval(lo, hi)})
+                for semantics in MissingSemantics:
+                    expect = evaluate(table, query, semantics)
+                    got = index.execute_ids(query, semantics)
+                    assert np.array_equal(got, expect), (
+                        cardinality, missing, lo, hi, semantics,
+                    )
+
+    def test_wah_codec(self, small_table, rng):
+        index = IntervalEncodedBitmapIndex(small_table, codec="wah")
+        for _ in range(20):
+            bounds = {}
+            for name, cardinality in (("low", 2), ("mid", 10), ("high", 100)):
+                lo = int(rng.integers(1, cardinality + 1))
+                hi = int(rng.integers(lo, cardinality + 1))
+                bounds[name] = (lo, hi)
+            query = RangeQuery.from_bounds(bounds)
+            for semantics in MissingSemantics:
+                expect = evaluate(small_table, query, semantics)
+                assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+
+class TestBitvectorBudget:
+    def test_at_most_three_bitmaps_per_interval(self):
+        # Two windows plus (at most) the missing bitmap.
+        table = generate_uniform_table(300, {"a": 12}, {"a": 0.25}, seed=3)
+        index = IntervalEncodedBitmapIndex(table, codec="none")
+        for lo in range(1, 13):
+            for hi in range(lo, 13):
+                for semantics in MissingSemantics:
+                    counter = OpCounter()
+                    index.evaluate_interval(
+                        "a", Interval(lo, hi), semantics, counter
+                    )
+                    assert counter.bitmaps_touched <= 3, (lo, hi, semantics)
+
+    def test_bitmaps_for_interval_matches_execution(self):
+        table = generate_uniform_table(300, {"a": 9}, {"a": 0.2}, seed=4)
+        index = IntervalEncodedBitmapIndex(table, codec="none")
+        for lo in range(1, 10):
+            for hi in range(lo, 10):
+                for semantics in MissingSemantics:
+                    counter = OpCounter()
+                    index.evaluate_interval(
+                        "a", Interval(lo, hi), semantics, counter
+                    )
+                    assert counter.bitmaps_touched == index.bitmaps_for_interval(
+                        "a", Interval(lo, hi), semantics
+                    )

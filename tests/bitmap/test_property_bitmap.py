@@ -1,0 +1,104 @@
+"""Property-based tests: bitmap indexes equal the brute-force oracle.
+
+For arbitrary incomplete columns and arbitrary interval queries, every
+encoding under every codec must return exactly the oracle's answer under
+both missing-data semantics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.alternatives import FlaggedRangeEncodedIndex
+from repro.bitmap.bitsliced import BitSlicedIndex
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.table import IncompleteTable
+from repro.query.ground_truth import evaluate
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+
+
+@st.composite
+def table_and_query(draw):
+    """A random incomplete 2-attribute table plus a covering query."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    cards = [draw(st.integers(min_value=1, max_value=12)) for _ in range(2)]
+    columns = {}
+    for i, cardinality in enumerate(cards):
+        columns[f"a{i}"] = np.array(
+            draw(
+                st.lists(
+                    st.integers(min_value=0, max_value=cardinality),
+                    min_size=n,
+                    max_size=n,
+                )
+            ),
+            dtype=np.int64,
+        )
+    schema = Schema(
+        [AttributeSpec(f"a{i}", cardinality) for i, cardinality in enumerate(cards)]
+    )
+    table = IncompleteTable(schema, columns)
+    intervals = {}
+    for i, cardinality in enumerate(cards):
+        lo = draw(st.integers(min_value=1, max_value=cardinality))
+        hi = draw(st.integers(min_value=lo, max_value=cardinality))
+        intervals[f"a{i}"] = Interval(lo, hi)
+    return table, RangeQuery(intervals)
+
+
+ENCODINGS = [
+    EqualityEncodedBitmapIndex,
+    RangeEncodedBitmapIndex,
+    IntervalEncodedBitmapIndex,
+    BitSlicedIndex,
+    FlaggedRangeEncodedIndex,
+]
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+@settings(max_examples=60, deadline=None)
+@given(data=table_and_query())
+def test_encoding_matches_oracle_plain(encoding, data):
+    table, query = data
+    index = encoding(table, codec="none")
+    for semantics in MissingSemantics:
+        expect = evaluate(table, query, semantics)
+        assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+
+@pytest.mark.parametrize("encoding", ENCODINGS)
+@settings(max_examples=40, deadline=None)
+@given(data=table_and_query())
+def test_encoding_matches_oracle_wah(encoding, data):
+    table, query = data
+    index = encoding(table, codec="wah")
+    for semantics in MissingSemantics:
+        expect = evaluate(table, query, semantics)
+        assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=table_and_query())
+def test_semantics_results_are_nested(data):
+    # NOT_MATCH answers are always a subset of IS_MATCH answers.
+    table, query = data
+    index = RangeEncodedBitmapIndex(table, codec="none")
+    strict = set(index.execute_ids(query, MissingSemantics.NOT_MATCH).tolist())
+    loose = set(index.execute_ids(query, MissingSemantics.IS_MATCH).tolist())
+    assert strict <= loose
+
+
+@settings(max_examples=40, deadline=None)
+@given(data=table_and_query())
+def test_encodings_agree_with_each_other(data):
+    table, query = data
+    bee = EqualityEncodedBitmapIndex(table, codec="none")
+    bre = RangeEncodedBitmapIndex(table, codec="none")
+    for semantics in MissingSemantics:
+        assert np.array_equal(
+            bee.execute_ids(query, semantics), bre.execute_ids(query, semantics)
+        )

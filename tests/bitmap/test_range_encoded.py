@@ -1,0 +1,196 @@
+"""Unit tests for the range-encoded (BRE) bitmap index."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.bitvector.ops import OpCounter
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import DomainError
+from repro.query.ground_truth import evaluate
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+
+
+def _bits(index, attribute, j) -> str:
+    return "".join(
+        "1" if b else "0" for b in index.bitmap(attribute, j).to_bools()
+    )
+
+
+class TestPaperTables3And4:
+    """Exact reproduction of the paper's range-encoding example."""
+
+    def test_bitmap_vectors_match_table_4(self, paper_table):
+        index = RangeEncodedBitmapIndex(paper_table, codec="none")
+        assert _bits(index, "a1", 0) == "0001000010"
+        assert _bits(index, "a1", 1) == "0001001010"
+        assert _bits(index, "a1", 2) == "0101001011"
+        assert _bits(index, "a1", 3) == "0111001111"
+        assert _bits(index, "a1", 4) == "0111101111"
+
+    def test_top_bitmap_dropped(self, paper_table):
+        # B_{i,C} is all ones and is not stored: C bitmaps total (B_0..B_4).
+        index = RangeEncodedBitmapIndex(paper_table, codec="none")
+        assert index.num_bitmaps("a1") == 5
+
+    def test_rows_are_monotone(self, paper_table):
+        # If B_{i,j}[x] = 1 then B_{i,k}[x] = 1 for all k > j.
+        index = RangeEncodedBitmapIndex(paper_table, codec="none")
+        stacked = np.stack(
+            [index.bitmap("a1", j).to_bools() for j in range(5)]
+        ).astype(int)
+        assert (np.diff(stacked, axis=0) >= 0).all()
+
+    def test_missing_rows_are_all_ones(self, paper_table):
+        index = RangeEncodedBitmapIndex(paper_table, codec="none")
+        for j in range(5):
+            bools = index.bitmap("a1", j).to_bools()
+            assert bools[3] and bools[8]  # records 4 and 9 are missing
+
+    def test_complete_attribute_stores_c_minus_one(self, complete_table):
+        index = RangeEncodedBitmapIndex(complete_table, codec="none")
+        assert index.num_bitmaps("x") == 9  # C=10, no missing -> B_1..B_9
+
+
+class TestFigure3Cases:
+    """All six Figure 3 rows, both semantics, on the paper example."""
+
+    @pytest.fixture
+    def index(self, paper_table):
+        return RangeEncodedBitmapIndex(paper_table, codec="none")
+
+    def _ids(self, index, lo, hi, semantics):
+        return index.evaluate_interval(
+            "a1", Interval(lo, hi), semantics
+        ).to_indices().tolist()
+
+    # Values: r0=5 r1=2 r2=3 r3=miss r4=4 r5=5 r6=1 r7=3 r8=miss r9=2
+
+    def test_point_at_minimum(self, index):
+        assert self._ids(index, 1, 1, MissingSemantics.IS_MATCH) == [3, 6, 8]
+        assert self._ids(index, 1, 1, MissingSemantics.NOT_MATCH) == [6]
+
+    def test_interior_point(self, index):
+        assert self._ids(index, 3, 3, MissingSemantics.IS_MATCH) == [2, 3, 7, 8]
+        assert self._ids(index, 3, 3, MissingSemantics.NOT_MATCH) == [2, 7]
+
+    def test_point_at_maximum(self, index):
+        assert self._ids(index, 5, 5, MissingSemantics.IS_MATCH) == [0, 3, 5, 8]
+        assert self._ids(index, 5, 5, MissingSemantics.NOT_MATCH) == [0, 5]
+
+    def test_range_from_minimum(self, index):
+        assert self._ids(index, 1, 3, MissingSemantics.IS_MATCH) == [
+            1, 2, 3, 6, 7, 8, 9,
+        ]
+        assert self._ids(index, 1, 3, MissingSemantics.NOT_MATCH) == [
+            1, 2, 6, 7, 9,
+        ]
+
+    def test_range_to_maximum(self, index):
+        assert self._ids(index, 3, 5, MissingSemantics.IS_MATCH) == [
+            0, 2, 3, 4, 5, 7, 8,
+        ]
+        assert self._ids(index, 3, 5, MissingSemantics.NOT_MATCH) == [
+            0, 2, 4, 5, 7,
+        ]
+
+    def test_interior_range(self, index):
+        assert self._ids(index, 2, 4, MissingSemantics.IS_MATCH) == [
+            1, 2, 3, 4, 7, 8, 9,
+        ]
+        assert self._ids(index, 2, 4, MissingSemantics.NOT_MATCH) == [
+            1, 2, 4, 7, 9,
+        ]
+
+    def test_full_domain(self, index):
+        assert self._ids(index, 1, 5, MissingSemantics.IS_MATCH) == list(range(10))
+        assert self._ids(index, 1, 5, MissingSemantics.NOT_MATCH) == [
+            0, 1, 2, 4, 5, 6, 7, 9,
+        ]
+
+    def test_out_of_domain_rejected(self, index):
+        with pytest.raises(DomainError):
+            index.evaluate_interval(
+                "a1", Interval(2, 6), MissingSemantics.IS_MATCH
+            )
+
+
+class TestBitvectorBudget:
+    """1-3 bitvectors per dimension under IS_MATCH; 1-2 under NOT_MATCH."""
+
+    @pytest.fixture
+    def index(self):
+        table = generate_uniform_table(300, {"a": 10}, {"a": 0.3}, seed=2)
+        return RangeEncodedBitmapIndex(table, codec="none")
+
+    def test_budget_bounds(self, index):
+        for lo in range(1, 11):
+            for hi in range(lo, 11):
+                iv = Interval(lo, hi)
+                counter = OpCounter()
+                index.evaluate_interval(
+                    "a", iv, MissingSemantics.IS_MATCH, counter
+                )
+                assert 0 <= counter.bitmaps_touched <= 3
+                counter = OpCounter()
+                index.evaluate_interval(
+                    "a", iv, MissingSemantics.NOT_MATCH, counter
+                )
+                assert 0 <= counter.bitmaps_touched <= 2
+
+    def test_predicted_count_matches_actual(self, index):
+        for lo in range(1, 11):
+            for hi in range(lo, 11):
+                iv = Interval(lo, hi)
+                for semantics in MissingSemantics:
+                    counter = OpCounter()
+                    index.evaluate_interval("a", iv, semantics, counter)
+                    assert counter.bitmaps_touched == index.bitmaps_for_interval(
+                        "a", iv, semantics
+                    )
+
+    def test_minimum_inclusive_not_match_needs_extra_bitmap(self, index):
+        # The paper: the conditions where the range includes the minimum
+        # domain value require one extra bitvector (the XOR with B_0).
+        counter = OpCounter()
+        index.evaluate_interval(
+            "a", Interval(1, 4), MissingSemantics.NOT_MATCH, counter
+        )
+        assert counter.bitmaps_touched == 2
+        assert counter.binary_ops == 1  # the XOR
+
+
+class TestCardinalityOne:
+    def test_cardinality_one_with_missing(self):
+        table = generate_uniform_table(100, {"a": 1}, {"a": 0.4}, seed=3)
+        index = RangeEncodedBitmapIndex(table, codec="none")
+        query = RangeQuery.from_bounds({"a": (1, 1)})
+        for semantics in MissingSemantics:
+            expect = evaluate(table, query, semantics)
+            assert np.array_equal(index.execute_ids(query, semantics), expect)
+
+    def test_cardinality_one_complete_stores_nothing(self):
+        table = generate_uniform_table(50, {"a": 1}, {"a": 0.0}, seed=4)
+        index = RangeEncodedBitmapIndex(table, codec="none")
+        assert index.num_bitmaps("a") == 0
+        query = RangeQuery.from_bounds({"a": (1, 1)})
+        assert index.execute_ids(query, MissingSemantics.IS_MATCH).tolist() == list(
+            range(50)
+        )
+
+
+class TestAgainstGroundTruth:
+    @pytest.mark.parametrize("codec", ["none", "wah", "bbc"])
+    def test_multi_attribute_queries(self, small_table, rng, codec):
+        index = RangeEncodedBitmapIndex(small_table, codec=codec)
+        for _ in range(25):
+            bounds = {}
+            for name, cardinality in (("low", 2), ("mid", 10), ("high", 100)):
+                lo = int(rng.integers(1, cardinality + 1))
+                hi = int(rng.integers(lo, cardinality + 1))
+                bounds[name] = (lo, hi)
+            query = RangeQuery.from_bounds(bounds)
+            for semantics in MissingSemantics:
+                expect = evaluate(small_table, query, semantics)
+                got = index.execute_ids(query, semantics)
+                assert np.array_equal(got, expect)

@@ -1,0 +1,95 @@
+"""Unit tests for the BBC-compressed bitvector."""
+
+import numpy as np
+import pytest
+
+from repro.bitvector.bbc import BbcBitVector
+from repro.bitvector.bitvector import BitVector
+from repro.errors import CorruptIndexError, ReproError
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("nbits", [0, 1, 7, 8, 9, 64, 1000])
+    @pytest.mark.parametrize("density", [0.0, 0.02, 0.5, 1.0])
+    def test_compress_decompress_identity(self, rng, nbits, density):
+        bools = rng.random(nbits) < density
+        vec = BitVector.from_bools(bools)
+        assert BbcBitVector.compress(vec).decompress() == vec
+
+    def test_long_fill_chains_tokens(self):
+        # 200 zero bytes exceed the 63-byte fill-token limit.
+        vec = BbcBitVector.from_bools(np.zeros(1600, dtype=bool))
+        assert vec.nbytes() == 4  # 200 = 63 + 63 + 63 + 11 -> 4 tokens
+        assert vec.count() == 0
+
+    def test_long_literal_chains_tokens(self, rng):
+        # >127 consecutive non-fill bytes force multiple literal tokens.
+        bools = np.tile(np.array([True] + [False] * 3), 300)
+        vec = BbcBitVector.from_bools(bools)
+        assert vec.decompress() == BitVector.from_bools(bools)
+
+
+class TestCompression:
+    def test_byte_granular_fills_beat_wah_on_short_runs(self, rng):
+        # Runs of ~100 zero bits are below WAH's 31-bit alignment sweet spot
+        # but BBC's byte fills capture them: the paper's size-vs-speed
+        # trade-off.
+        from repro.bitvector.wah import WahBitVector
+
+        pattern = np.concatenate([np.ones(4, dtype=bool),
+                                  np.zeros(100, dtype=bool)])
+        bools = np.tile(pattern, 200)
+        bbc = BbcBitVector.from_bools(bools)
+        wah = WahBitVector.from_bools(bools)
+        assert bbc.nbytes() < wah.nbytes()
+
+    def test_empty_ratio_is_one(self):
+        assert BbcBitVector.from_bools(np.zeros(0, dtype=bool)).compression_ratio() == 1.0
+
+    def test_sparse_compresses(self, rng):
+        bools = rng.random(100_000) < 0.001
+        assert BbcBitVector.from_bools(bools).compression_ratio() < 0.2
+
+
+class TestLogicalOps:
+    def test_ops_agree_with_plain(self, rng):
+        a = rng.random(1000) < 0.3
+        b = rng.random(1000) < 0.6
+        va, vb = BitVector.from_bools(a), BitVector.from_bools(b)
+        ba, bb = BbcBitVector.from_bools(a), BbcBitVector.from_bools(b)
+        assert (ba & bb).decompress() == (va & vb)
+        assert (ba | bb).decompress() == (va | vb)
+        assert (ba ^ bb).decompress() == (va ^ vb)
+        assert (~ba).decompress() == ~va
+        assert ba.andnot(bb).decompress() == va.andnot(vb)
+
+    def test_count_and_indices(self, rng):
+        bools = rng.random(777) < 0.2
+        vec = BbcBitVector.from_bools(bools)
+        assert vec.count() == int(bools.sum())
+        assert np.array_equal(vec.to_indices(), np.flatnonzero(bools))
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BbcBitVector.from_bools(np.zeros(8, dtype=bool)) & object()
+
+
+class TestStreamValidation:
+    def test_truncated_literal_rejected(self):
+        with pytest.raises(CorruptIndexError):
+            BbcBitVector(16, bytes([2, 0x55])).decompress()  # says 2, has 1
+
+    def test_wrong_decoded_length_rejected(self):
+        with pytest.raises(CorruptIndexError):
+            BbcBitVector(64, bytes([0x81])).decompress()  # 1 byte != 8
+
+    def test_negative_nbits_rejected(self):
+        with pytest.raises(ReproError):
+            BbcBitVector(-1, b"")
+
+    def test_equality_and_hash(self, rng):
+        bools = rng.random(64) < 0.5
+        a, b = BbcBitVector.from_bools(bools), BbcBitVector.from_bools(bools)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != "something else"

@@ -1,0 +1,120 @@
+"""Unit tests for the codec-agnostic bitvector helpers and OpCounter."""
+
+import numpy as np
+import pytest
+
+from repro.bitvector.bbc import BbcBitVector
+from repro.bitvector.bitvector import BitVector
+from repro.bitvector.ops import (
+    CODECS,
+    OpCounter,
+    big_and,
+    big_or,
+    make_bitvector,
+    make_zeros,
+    words_of,
+)
+from repro.bitvector.wah import WahBitVector
+from repro.errors import ReproError
+
+
+class TestFactories:
+    @pytest.mark.parametrize("codec,cls", [
+        ("none", BitVector), ("wah", WahBitVector), ("bbc", BbcBitVector),
+    ])
+    def test_make_bitvector_dispatches(self, rng, codec, cls):
+        bools = rng.random(100) < 0.5
+        vec = make_bitvector(bools, codec)
+        assert isinstance(vec, cls)
+        assert vec.count() == int(bools.sum())
+
+    def test_make_zeros(self):
+        assert make_zeros(64, "wah").count() == 0
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(ReproError, match="unknown bitvector codec"):
+            make_bitvector(np.zeros(8, dtype=bool), "gzip")
+
+    def test_codecs_registry_complete(self):
+        assert set(CODECS) == {"none", "wah", "bbc"}
+
+
+class TestWordsOf:
+    def test_plain_counts_word_extent(self):
+        # 100 bits -> two 64-bit words -> four 32-bit word units.
+        assert words_of(BitVector.zeros(100)) == 4
+
+    def test_wah_counts_compressed_words(self):
+        assert words_of(WahBitVector.zeros(31 * 1000)) == 1
+
+    def test_bbc_counts_payload_words(self, rng):
+        vec = BbcBitVector.from_bools(rng.random(64) < 0.5)
+        assert words_of(vec) == (vec.nbytes() + 3) // 4
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ReproError):
+            words_of("nope")
+
+
+class TestBigOps:
+    @pytest.mark.parametrize("codec", ["none", "wah", "bbc"])
+    def test_big_or_unions_all(self, rng, codec):
+        masks = [rng.random(200) < 0.1 for _ in range(5)]
+        vecs = [make_bitvector(m, codec) for m in masks]
+        expect = np.logical_or.reduce(masks)
+        assert np.array_equal(big_or(vecs).to_indices(), np.flatnonzero(expect))
+
+    @pytest.mark.parametrize("codec", ["none", "wah", "bbc"])
+    def test_big_and_intersects_all(self, rng, codec):
+        masks = [rng.random(200) < 0.8 for _ in range(4)]
+        vecs = [make_bitvector(m, codec) for m in masks]
+        expect = np.logical_and.reduce(masks)
+        assert np.array_equal(big_and(vecs).to_indices(), np.flatnonzero(expect))
+
+    def test_single_operand_passthrough(self):
+        vec = WahBitVector.zeros(10)
+        assert big_or([vec]) is vec
+        assert big_and([vec]) is vec
+
+    def test_empty_operands_rejected(self):
+        with pytest.raises(ReproError):
+            big_or([])
+        with pytest.raises(ReproError):
+            big_and([])
+
+    def test_big_or_counts_operands_and_ops(self, rng):
+        vecs = [make_bitvector(rng.random(100) < 0.2, "wah") for _ in range(4)]
+        counter = OpCounter()
+        big_or(vecs, counter)
+        assert counter.bitmaps_touched == 4
+        assert counter.binary_ops == 3
+        assert counter.words_processed > 0
+
+
+class TestOpCounter:
+    def test_record_binary_accumulates_words(self):
+        a, b = BitVector.zeros(64), BitVector.zeros(64)
+        counter = OpCounter()
+        counter.record_binary(a, b)
+        assert counter.binary_ops == 1
+        assert counter.words_processed == words_of(a) + words_of(b)
+
+    def test_record_not(self):
+        counter = OpCounter()
+        counter.record_not(BitVector.zeros(64))
+        assert counter.not_ops == 1
+        assert counter.words_processed == 2
+
+    def test_merge_and_reset(self):
+        a = OpCounter(bitmaps_touched=2, binary_ops=1, not_ops=1,
+                      words_processed=10, per_query=[3])
+        b = OpCounter(bitmaps_touched=1, binary_ops=2, not_ops=0,
+                      words_processed=5, per_query=[4])
+        a.merge(b)
+        assert a.bitmaps_touched == 3
+        assert a.binary_ops == 3
+        assert a.words_processed == 15
+        assert a.per_query == [3, 4]
+        a.reset()
+        assert a.bitmaps_touched == 0
+        assert a.per_query == []

@@ -1,0 +1,56 @@
+"""Unit tests for the Section 6 index advisor."""
+
+import pytest
+
+from repro.core.advisor import Recommendation, WorkloadProfile, recommend
+from repro.dataset.synthetic import generate_uniform_table
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(
+        5000, {"a": 20, "b": 50}, {"a": 0.2, "b": 0.1}, seed=41
+    )
+
+
+class TestRanking:
+    def test_returns_all_three_techniques_ranked(self, table):
+        ranked = recommend(table)
+        assert [type(r) for r in ranked] == [Recommendation] * 3
+        assert {r.kind for r in ranked} == {"bre", "bee", "vafile"}
+        scores = [r.score for r in ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_default_workload_prefers_bre(self, table):
+        # Section 6: "range encoded bitmaps typically offer the best time
+        # performance".
+        assert recommend(table)[0].kind == "bre"
+
+    def test_point_query_workload_boosts_bee(self, table):
+        baseline = {r.kind: r.score for r in recommend(table)}
+        pointy = {
+            r.kind: r.score
+            for r in recommend(
+                table, WorkloadProfile(point_query_fraction=0.9)
+            )
+        }
+        assert pointy["bee"] > baseline["bee"]
+
+    def test_tight_memory_budget_boosts_vafile(self, table):
+        tight = WorkloadProfile(memory_budget_bytes=20_000)
+        ranked = recommend(table, tight)
+        scores = {r.kind: r.score for r in ranked}
+        assert scores["vafile"] > scores["bre"]
+
+    def test_every_recommendation_has_reasons(self, table):
+        for rec in recommend(table, WorkloadProfile(point_query_fraction=0.9)):
+            assert rec.reasons
+            assert all(isinstance(reason, str) for reason in rec.reasons)
+
+    def test_high_missing_data_mentions_compression(self):
+        high_missing = generate_uniform_table(
+            3000, {"a": 10}, {"a": 0.6}, seed=42
+        )
+        ranked = recommend(high_missing)
+        bee = next(r for r in ranked if r.kind == "bee")
+        assert any("missing" in reason for reason in bee.reasons)

@@ -1,0 +1,136 @@
+"""Unit tests for the :class:`IncompleteDatabase` facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import IncompleteDatabase
+from repro.errors import QueryError, ReproError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@pytest.fixture
+def db(small_table):
+    return IncompleteDatabase(small_table)
+
+
+class TestIndexManagement:
+    def test_create_and_list(self, db):
+        db.create_index("i1", "bre")
+        db.create_index("i2", "vafile", ["mid"])
+        assert db.index_names == ("i1", "i2")
+        assert db.get_index("i2").attributes == ("mid",)
+
+    def test_duplicate_name_rejected(self, db):
+        db.create_index("i1", "bee")
+        with pytest.raises(ReproError, match="already exists"):
+            db.create_index("i1", "bre")
+
+    def test_unknown_kind_rejected(self, db):
+        with pytest.raises(ReproError, match="unknown index kind"):
+            db.create_index("i1", "btree-forest")
+
+    def test_drop(self, db):
+        db.create_index("i1", "bee")
+        db.drop_index("i1")
+        assert db.index_names == ()
+        with pytest.raises(ReproError):
+            db.drop_index("i1")
+
+    def test_get_unknown_rejected(self, db):
+        with pytest.raises(ReproError):
+            db.get_index("nope")
+
+    def test_options_forwarded(self, db):
+        attached = db.create_index("i1", "bee", codec="none")
+        assert attached.index.codec == "none"
+
+    @pytest.mark.parametrize(
+        "kind",
+        ["bee", "bre", "bie", "bsl", "vafile", "mosaic", "rtree-sentinel",
+         "bitstring", "gridfile"],
+    )
+    def test_every_kind_builds_and_answers(self, small_table, kind):
+        db = IncompleteDatabase(small_table)
+        db.create_index("ix", kind, ["mid", "low"])
+        query = RangeQuery.from_bounds({"mid": (2, 6), "low": (1, 1)})
+        for semantics in MissingSemantics:
+            expect = evaluate(small_table, query, semantics)
+            report = db.query(query, semantics)
+            assert report.kind == kind
+            assert np.array_equal(np.sort(report.record_ids), expect)
+
+
+class TestPlanning:
+    def test_prefers_bre_over_others(self, db):
+        db.create_index("va", "vafile")
+        db.create_index("eq", "bee")
+        db.create_index("rng", "bre")
+        chosen = db.choose_index(RangeQuery.from_bounds({"mid": (1, 3)}))
+        assert chosen.name == "rng"
+
+    def test_ignores_non_covering_indexes(self, db):
+        db.create_index("partial", "bre", ["mid"])
+        db.create_index("full", "vafile")
+        chosen = db.choose_index(
+            RangeQuery.from_bounds({"mid": (1, 2), "high": (1, 50)})
+        )
+        assert chosen.name == "full"
+
+    def test_scan_fallback(self, db, small_table):
+        query = RangeQuery.from_bounds({"mid": (2, 6)})
+        report = db.query(query)
+        assert report.kind == "scan"
+        expect = evaluate(small_table, query, MissingSemantics.IS_MATCH)
+        assert np.array_equal(report.record_ids, expect)
+
+    def test_explain_mentions_plan(self, db):
+        db.create_index("rng", "bre")
+        text = db.explain(RangeQuery.from_bounds({"mid": (2, 4)}))
+        assert "rng" in text and "bitvectors used" in text
+        db.drop_index("rng")
+        text = db.explain(RangeQuery.from_bounds({"mid": (2, 4)}))
+        assert "sequential scan" in text
+
+
+class TestExecution:
+    def test_bounds_mapping_accepted(self, db, small_table):
+        db.create_index("rng", "bre")
+        report = db.query({"mid": (3, 7)}, MissingSemantics.NOT_MATCH)
+        expect = evaluate(
+            small_table,
+            RangeQuery.from_bounds({"mid": (3, 7)}),
+            MissingSemantics.NOT_MATCH,
+        )
+        assert np.array_equal(np.sort(report.record_ids), expect)
+
+    def test_using_forces_index(self, db):
+        db.create_index("rng", "bre")
+        db.create_index("va", "vafile")
+        report = db.query({"mid": (1, 4)}, using="va")
+        assert report.index_name == "va"
+
+    def test_using_uncovered_rejected(self, db):
+        db.create_index("partial", "bee", ["low"])
+        with pytest.raises(QueryError, match="does not cover"):
+            db.query({"mid": (1, 2)}, using="partial")
+
+    def test_count_and_fetch(self, db, small_table):
+        db.create_index("rng", "bre")
+        query = {"mid": (1, 3)}
+        count = db.count(query, MissingSemantics.NOT_MATCH)
+        fetched = db.fetch(query, MissingSemantics.NOT_MATCH)
+        assert count == fetched.num_records
+        assert (fetched.column("mid") >= 1).all()
+        assert (fetched.column("mid") <= 3).all()
+
+    def test_all_kinds_agree(self, small_table):
+        db = IncompleteDatabase(small_table)
+        for kind in ("bee", "bre", "vafile", "mosaic"):
+            db.create_index(kind, kind, ["mid", "low"])
+        query = {"mid": (2, 8), "low": (2, 2)}
+        results = {
+            kind: np.sort(db.query(query, using=kind).record_ids).tolist()
+            for kind in ("bee", "bre", "vafile", "mosaic")
+        }
+        assert len({tuple(ids) for ids in results.values()}) == 1

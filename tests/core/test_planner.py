@@ -1,0 +1,79 @@
+"""Unit tests for the cost-based planner."""
+
+import pytest
+
+from repro.core.engine import IncompleteDatabase
+from repro.core.planner import estimate_cost, rank_plans
+from repro.dataset.synthetic import generate_uniform_table
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@pytest.fixture
+def db():
+    table = generate_uniform_table(
+        5000, {"a": 100, "b": 10}, {"a": 0.1, "b": 0.2}, seed=101
+    )
+    db = IncompleteDatabase(table)
+    db.create_index("bee", "bee")
+    db.create_index("bre", "bre")
+    db.create_index("va", "vafile")
+    db.create_index("mosaic", "mosaic")
+    return db
+
+
+class TestEstimates:
+    def test_bitmap_estimate_scales_with_bitmaps_touched(self, db):
+        narrow = RangeQuery.from_bounds({"a": (5, 6)})
+        wide = RangeQuery.from_bounds({"a": (5, 54)})
+        bee = db.get_index("bee")
+        cost_narrow = estimate_cost(bee, narrow, MissingSemantics.IS_MATCH)
+        cost_wide = estimate_cost(bee, wide, MissingSemantics.IS_MATCH)
+        assert cost_wide.items > 3 * cost_narrow.items
+
+    def test_vafile_estimate_is_scan_cost(self, db):
+        va = db.get_index("va")
+        one_dim = estimate_cost(
+            va, RangeQuery.from_bounds({"a": (1, 50)}), MissingSemantics.IS_MATCH
+        )
+        two_dim = estimate_cost(
+            va,
+            RangeQuery.from_bounds({"a": (1, 50), "b": (1, 5)}),
+            MissingSemantics.IS_MATCH,
+        )
+        assert one_dim.items == 5000
+        assert two_dim.items == 10000
+
+    def test_uncostable_index_returns_none(self, db):
+        mosaic = db.get_index("mosaic")
+        assert (
+            estimate_cost(
+                mosaic,
+                RangeQuery.from_bounds({"a": (1, 2)}),
+                MissingSemantics.IS_MATCH,
+            )
+            is None
+        )
+
+    def test_rank_orders_cheapest_first(self, db):
+        query = RangeQuery.from_bounds({"a": (10, 60), "b": (2, 8)})
+        candidates = [db.get_index(n) for n in ("bee", "bre", "va")]
+        plans = rank_plans(candidates, query, MissingSemantics.IS_MATCH)
+        assert len(plans) == 3
+        assert plans[0].items <= plans[1].items <= plans[2].items
+
+
+class TestEngineIntegration:
+    def test_wide_range_prefers_bre_over_bee(self, db):
+        # A half-domain range touches ~50 BEE bitmaps but <= 3 BRE bitmaps.
+        query = RangeQuery.from_bounds({"a": (10, 60)})
+        chosen = db.choose_index(query, MissingSemantics.IS_MATCH)
+        assert chosen.name == "bre"
+
+    def test_explain_lists_costed_plans(self, db):
+        text = db.explain(RangeQuery.from_bounds({"a": (10, 60)}))
+        assert "items" in text
+        assert "bre" in text and "va" in text
+
+    def test_forced_index_bypasses_planner(self, db):
+        report = db.query({"a": (10, 60)}, using="va")
+        assert report.index_name == "va"

@@ -1,0 +1,122 @@
+"""Unit tests for table statistics and selectivity estimation."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import IncompleteDatabase
+from repro.core.statistics import AttributeStatistics, TableStatistics
+from repro.dataset.census import skewed_column
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.synthetic import generate_uniform_table
+from repro.dataset.table import IncompleteTable
+from repro.errors import DomainError, QueryError
+from repro.query.ground_truth import selectivity
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+
+
+class TestAttributeStatistics:
+    @pytest.fixture
+    def stats(self):
+        column = np.array([1, 2, 2, 3, 0, 0, 3, 3])
+        return AttributeStatistics.from_column("a", column, cardinality=4)
+
+    def test_histogram_counts(self, stats):
+        assert stats.counts.tolist() == [2, 1, 2, 3, 0]
+
+    def test_missing_probability(self, stats):
+        assert stats.missing_probability == pytest.approx(0.25)
+
+    def test_interval_probability(self, stats):
+        assert stats.interval_probability(Interval(2, 3)) == pytest.approx(5 / 8)
+        assert stats.interval_probability(Interval(4, 4)) == 0.0
+
+    def test_match_probability_semantics(self, stats):
+        iv = Interval(2, 3)
+        strict = stats.match_probability(iv, MissingSemantics.NOT_MATCH)
+        loose = stats.match_probability(iv, MissingSemantics.IS_MATCH)
+        assert loose == pytest.approx(strict + 0.25)
+
+    def test_most_frequent_value(self, stats):
+        assert stats.most_frequent_value() == 3
+
+    def test_most_frequent_of_all_missing_is_none(self):
+        stats = AttributeStatistics.from_column(
+            "a", np.zeros(5, dtype=np.int64), cardinality=3
+        )
+        assert stats.most_frequent_value() is None
+
+    def test_out_of_domain_rejected(self, stats):
+        with pytest.raises(DomainError):
+            stats.interval_probability(Interval(1, 5))
+
+    def test_empty_column(self):
+        stats = AttributeStatistics.from_column(
+            "a", np.array([], dtype=np.int64), cardinality=3
+        )
+        assert stats.missing_probability == 0.0
+        assert stats.interval_probability(Interval(1, 3)) == 0.0
+
+
+class TestTableStatistics:
+    @pytest.fixture
+    def table(self):
+        return generate_uniform_table(
+            20_000, {"a": 10, "b": 25}, {"a": 0.3, "b": 0.1}, seed=141
+        )
+
+    def test_single_attribute_estimate_is_exact(self, table):
+        stats = TableStatistics(table)
+        for semantics in MissingSemantics:
+            query = RangeQuery.from_bounds({"a": (3, 7)})
+            estimate = stats.estimate_selectivity(query, semantics)
+            actual = selectivity(table, query, semantics)
+            assert estimate == pytest.approx(actual)
+
+    def test_multi_attribute_estimate_close_on_independent_data(self, table):
+        stats = TableStatistics(table)
+        query = RangeQuery.from_bounds({"a": (2, 6), "b": (5, 20)})
+        for semantics in MissingSemantics:
+            estimate = stats.estimate_selectivity(query, semantics)
+            actual = selectivity(table, query, semantics)
+            assert estimate == pytest.approx(actual, rel=0.05)
+
+    def test_exact_on_skewed_single_attribute(self, rng):
+        column = skewed_column(10_000, 50, 0.2, 1.5, rng)
+        schema = Schema([AttributeSpec("s", 50)])
+        table = IncompleteTable(schema, {"s": column})
+        stats = TableStatistics(table)
+        query = RangeQuery.from_bounds({"s": (1, 3)})
+        assert stats.estimate_selectivity(
+            query, MissingSemantics.NOT_MATCH
+        ) == pytest.approx(selectivity(table, query, MissingSemantics.NOT_MATCH))
+
+    def test_unknown_attribute_rejected(self, table):
+        stats = TableStatistics(table)
+        with pytest.raises(QueryError):
+            stats.attribute("zzz")
+
+    def test_estimate_count_rounds(self, table):
+        stats = TableStatistics(table)
+        query = RangeQuery.from_bounds({"a": (1, 10)})
+        assert stats.estimate_count(query, MissingSemantics.IS_MATCH) == 20_000
+
+
+class TestEngineIntegration:
+    def test_engine_estimate_count(self):
+        table = generate_uniform_table(5000, {"a": 10}, {"a": 0.2}, seed=142)
+        db = IncompleteDatabase(table)
+        estimate = db.estimate_count({"a": (1, 5)}, MissingSemantics.NOT_MATCH)
+        actual = db.count({"a": (1, 5)}, MissingSemantics.NOT_MATCH)
+        assert estimate == actual  # single attribute: exact
+
+    def test_explain_includes_estimate(self):
+        table = generate_uniform_table(5000, {"a": 10}, {"a": 0.2}, seed=143)
+        db = IncompleteDatabase(table)
+        db.create_index("rng", "bre")
+        text = db.explain(RangeQuery.from_bounds({"a": (1, 5)}))
+        assert "estimated matches:" in text
+
+    def test_statistics_are_cached(self):
+        table = generate_uniform_table(100, {"a": 5}, {"a": 0.1}, seed=144)
+        db = IncompleteDatabase(table)
+        assert db.statistics is db.statistics

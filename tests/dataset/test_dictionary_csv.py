@@ -1,0 +1,149 @@
+"""Unit tests for value dictionaries and CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import IncompleteDatabase
+from repro.dataset.csv_io import read_csv, write_csv
+from repro.dataset.dictionary import ValueDictionary
+from repro.errors import DomainError, SchemaError
+from repro.query.model import MissingSemantics
+
+
+class TestValueDictionary:
+    def test_fit_first_seen_order(self):
+        d = ValueDictionary.fit(["b", "a", None, "b", "c"])
+        assert list(d) == ["b", "a", "c"]
+        assert d.cardinality == 3
+        assert d.encode_value("b") == 1
+
+    def test_fit_ordered(self):
+        d = ValueDictionary.fit(["b", "a", None, "c"], ordered=True)
+        assert list(d) == ["a", "b", "c"]
+        assert d.encode_value("a") == 1
+        assert d.encode_value("c") == 3
+
+    def test_encode_decode_roundtrip_with_missing(self):
+        d = ValueDictionary.fit(["x", "y"])
+        raw = ["x", None, "y", "x"]
+        codes = d.encode(raw)
+        assert codes.tolist() == [1, 0, 2, 1]
+        assert d.decode(codes) == raw
+
+    def test_unknown_value_rejected(self):
+        d = ValueDictionary.fit(["x"])
+        with pytest.raises(DomainError):
+            d.encode_value("zzz")
+
+    def test_out_of_range_code_rejected(self):
+        d = ValueDictionary.fit(["x"])
+        with pytest.raises(DomainError):
+            d.decode_value(2)
+
+    def test_none_decodes_from_zero(self):
+        d = ValueDictionary.fit(["x"])
+        assert d.decode_value(0) is None
+
+    def test_duplicates_and_none_rejected_in_constructor(self):
+        with pytest.raises(SchemaError):
+            ValueDictionary(["a", "a"])
+        with pytest.raises(SchemaError):
+            ValueDictionary([None])
+
+    def test_contains_len_eq(self):
+        d = ValueDictionary.fit(["x", "y"])
+        assert "x" in d and "z" not in d
+        assert len(d) == 2
+        assert d == ValueDictionary(["x", "y"])
+        assert d != ValueDictionary(["y", "x"])
+
+
+class TestCsvRoundTrip:
+    @pytest.fixture
+    def csv_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text(
+            "city,age,income\n"
+            "oslo,34,51000\n"
+            "bergen,,\n"
+            ",51,73000\n"
+            "oslo,NA,51000\n"
+            "tromso,28,n/a\n"
+        )
+        return path
+
+    def test_read_infers_schema_and_missing(self, csv_path):
+        table, dicts = read_csv(csv_path)
+        assert table.num_records == 5
+        assert table.schema.names == ("city", "age", "income")
+        assert table.schema.cardinality("city") == 3
+        assert table.missing_fraction("city") == pytest.approx(0.2)
+        assert table.missing_fraction("age") == pytest.approx(0.4)
+        # Numeric columns are ordered numerically for meaningful ranges.
+        assert dicts["age"].decode_value(1) == 28
+        assert dicts["age"].decode_value(3) == 51
+
+    def test_queries_on_imported_data(self, csv_path):
+        table, dicts = read_csv(csv_path)
+        db = IncompleteDatabase(table)
+        db.create_index("ix", "bre")
+        # Ages 30..55 -> codes for {34, 51}.
+        lo = dicts["age"].encode_value(34)
+        hi = dicts["age"].encode_value(51)
+        definite = db.query({"age": (lo, hi)}, MissingSemantics.NOT_MATCH)
+        possible = db.query({"age": (lo, hi)}, MissingSemantics.IS_MATCH)
+        assert definite.num_matches == 2
+        assert possible.num_matches == 4  # + the two missing-age rows
+
+    def test_roundtrip_preserves_data(self, csv_path, tmp_path):
+        table, dicts = read_csv(csv_path)
+        out = tmp_path / "out.csv"
+        write_csv(table, dicts, out)
+        table2, dicts2 = read_csv(out)
+        assert table2.schema == table.schema
+        for name in table.schema.names:
+            assert np.array_equal(table2.column(name), table.column(name))
+
+    def test_mixed_numeric_text_column_becomes_text(self, tmp_path):
+        path = tmp_path / "mixed.csv"
+        path.write_text("col\n5\napple\n7\n")
+        table, dicts = read_csv(path)
+        assert table.schema.cardinality("col") == 3
+        assert set(dicts["col"]) == {"5", "7", "apple"}
+
+    def test_custom_missing_tokens(self, tmp_path):
+        path = tmp_path / "custom.csv"
+        path.write_text("a\n1\n-\n2\n")
+        table, _ = read_csv(path, missing_tokens={"-"})
+        assert table.missing_fraction("a") == pytest.approx(1 / 3)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="expected 2 cells"):
+            read_csv(path)
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        path = tmp_path / "dup.csv"
+        path.write_text("a,a\n1,2\n")
+        with pytest.raises(SchemaError, match="duplicate column"):
+            read_csv(path)
+
+    def test_write_requires_all_dictionaries(self, csv_path, tmp_path):
+        table, dicts = read_csv(csv_path)
+        del dicts["age"]
+        with pytest.raises(SchemaError, match="no dictionary"):
+            write_csv(table, dicts, tmp_path / "x.csv")
+
+    def test_all_missing_column(self, tmp_path):
+        path = tmp_path / "allmissing.csv"
+        path.write_text("a,b\n,1\n,2\n")
+        table, dicts = read_csv(path)
+        assert table.missing_fraction("a") == 1.0
+        assert table.schema.cardinality("a") == 1  # floor for empty domains

@@ -1,0 +1,134 @@
+"""Unit tests for the synthetic and census-like dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.census import (
+    TABLE7_CENSUS_GRID,
+    generate_census_like,
+    sample_census_profiles,
+    zipf_weights,
+)
+from repro.dataset.synthetic import (
+    TABLE7_SYNTHETIC_GRID,
+    generate_synthetic,
+    generate_uniform_table,
+    uniform_column,
+)
+
+
+class TestUniformColumn:
+    def test_values_in_domain(self, rng):
+        col = uniform_column(5000, 10, 0.2, rng)
+        present = col[col != 0]
+        assert present.min() >= 1 and present.max() <= 10
+
+    def test_missing_fraction_close_to_target(self, rng):
+        col = uniform_column(50_000, 10, 0.3, rng)
+        assert (col == 0).mean() == pytest.approx(0.3, abs=0.01)
+
+    def test_zero_missing(self, rng):
+        col = uniform_column(1000, 5, 0.0, rng)
+        assert (col == 0).sum() == 0
+
+    def test_roughly_uniform_distribution(self, rng):
+        col = uniform_column(60_000, 6, 0.0, rng)
+        counts = np.bincount(col, minlength=7)[1:]
+        assert counts.min() > 0.9 * 10_000
+        assert counts.max() < 1.1 * 10_000
+
+    def test_invalid_missing_fraction_rejected(self, rng):
+        with pytest.raises(ValueError):
+            uniform_column(10, 5, 1.0, rng)
+
+
+class TestGenerateUniformTable:
+    def test_respects_per_attribute_settings(self):
+        table = generate_uniform_table(
+            20_000, {"a": 10, "b": 2}, {"a": 0.4, "b": 0.0}, seed=1
+        )
+        assert table.missing_fraction("a") == pytest.approx(0.4, abs=0.02)
+        assert table.missing_fraction("b") == 0.0
+        assert table.schema.cardinality("a") == 10
+
+    def test_deterministic_given_seed(self):
+        t1 = generate_uniform_table(100, {"a": 5}, {"a": 0.1}, seed=9)
+        t2 = generate_uniform_table(100, {"a": 5}, {"a": 0.1}, seed=9)
+        assert np.array_equal(t1.column("a"), t2.column("a"))
+
+
+class TestGenerateSynthetic:
+    def test_small_grid_composition(self):
+        grid = {2: {10: 2, 50: 1}, 10: {30: 3}}
+        table = generate_synthetic(num_records=500, grid=grid, seed=1)
+        assert table.schema.dimensionality == 6
+        cards = sorted(s.cardinality for s in table.schema)
+        assert cards == [2, 2, 2, 10, 10, 10]
+
+    def test_missing_rates_match_grid_cells(self):
+        grid = {5: {10: 1, 50: 1}}
+        table = generate_synthetic(num_records=30_000, grid=grid, seed=2)
+        low = [n for n in table.schema.names if "_m10_" in n][0]
+        high = [n for n in table.schema.names if "_m50_" in n][0]
+        assert table.missing_fraction(low) == pytest.approx(0.10, abs=0.01)
+        assert table.missing_fraction(high) == pytest.approx(0.50, abs=0.01)
+
+    def test_paper_grid_has_450_columns(self):
+        total = sum(
+            count
+            for by_missing in TABLE7_SYNTHETIC_GRID.values()
+            for count in by_missing.values()
+        )
+        assert total == 450
+
+
+class TestZipf:
+    def test_weights_normalized_and_decreasing(self):
+        w = zipf_weights(20, 1.2)
+        assert w.sum() == pytest.approx(1.0)
+        assert all(w[i] >= w[i + 1] for i in range(19))
+
+
+class TestCensusProfiles:
+    def test_profile_count_matches_grid(self):
+        profiles = sample_census_profiles(seed=1990)
+        expected = sum(
+            count
+            for by_missing in TABLE7_CENSUS_GRID.values()
+            for count in by_missing.values()
+        )
+        assert len(profiles) == expected == 48
+
+    def test_eight_attributes_above_ninety_percent_missing(self):
+        # Section 5.2: "each of the 8 attributes in our real data set which
+        # have more than 90% missing data".
+        profiles = sample_census_profiles(seed=1990)
+        high = [p for p in profiles if p.missing_fraction > 0.9]
+        assert len(high) == 8
+
+    def test_cardinality_range_matches_paper(self):
+        profiles = sample_census_profiles(seed=1990)
+        cards = [p.cardinality for p in profiles]
+        assert min(cards) >= 2
+        assert max(cards) <= 165
+
+
+class TestGenerateCensusLike:
+    def test_shape_and_skew(self):
+        table = generate_census_like(num_records=5000, seed=1990)
+        assert table.schema.dimensionality == 48
+        assert table.num_records == 5000
+        # Skew: for some reasonably high-cardinality attribute the most
+        # frequent value should hold far more than the uniform share.
+        name = max(table.schema, key=lambda s: s.cardinality).name
+        col = table.column(name)
+        present = col[col != 0]
+        counts = np.bincount(present)
+        top_share = counts.max() / len(present)
+        assert top_share > 3.0 / table.schema.cardinality(name)
+
+    def test_deterministic(self):
+        a = generate_census_like(num_records=300, seed=5)
+        b = generate_census_like(num_records=300, seed=5)
+        for name in a.schema.names:
+            assert np.array_equal(a.column(name), b.column(name))

@@ -1,0 +1,121 @@
+"""Unit tests for row reordering (the paper's future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.dataset.reorder import (
+    STRATEGIES,
+    gray_order,
+    lexicographic_order,
+    reorder,
+    reorder_table,
+)
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import ReproError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(
+        3000, {"a": 8, "b": 8, "c": 8}, {"a": 0.2, "b": 0.2, "c": 0.2}, seed=61
+    )
+
+
+class TestOrderings:
+    def test_lexicographic_sorts_leading_attribute(self, table):
+        order = lexicographic_order(table)
+        leading = table.column("a")[order]
+        assert (np.diff(leading) >= 0).all()
+
+    def test_gray_is_a_permutation(self, table):
+        order = gray_order(table)
+        assert np.array_equal(np.sort(order), np.arange(3000))
+
+    def test_gray_minimizes_transitions_vs_random(self, table):
+        # Count attribute-value transitions between consecutive rows; Gray
+        # ordering must beat the unordered table substantially.
+        def transitions(perm):
+            total = 0
+            for name in table.schema.names:
+                col = table.column(name)[perm]
+                total += int((np.diff(col) != 0).sum())
+            return total
+
+        identity = np.arange(3000)
+        assert transitions(gray_order(table)) < 0.5 * transitions(identity)
+
+    def test_gray_at_least_as_smooth_as_lexicographic(self, table):
+        def transitions(perm):
+            total = 0
+            for name in table.schema.names:
+                col = table.column(name)[perm]
+                total += int((np.diff(col) != 0).sum())
+            return total
+
+        assert transitions(gray_order(table)) <= transitions(
+            lexicographic_order(table)
+        )
+
+    def test_attribute_subset_ordering(self, table):
+        order = lexicographic_order(table, ["c"])
+        leading = table.column("c")[order]
+        assert (np.diff(leading) >= 0).all()
+
+    def test_empty_attribute_list_rejected(self, table):
+        with pytest.raises(ReproError):
+            lexicographic_order(table, [])
+
+
+class TestReorderTable:
+    def test_rows_are_permuted_consistently(self, table):
+        reordered, perm = reorder(table, "gray")
+        for name in table.schema.names:
+            assert np.array_equal(
+                reordered.column(name), table.column(name)[perm]
+            )
+
+    def test_bad_permutation_rejected(self, table):
+        with pytest.raises(ReproError, match="bijection"):
+            reorder_table(table, np.zeros(3000, dtype=np.int64))
+        with pytest.raises(ReproError, match="length"):
+            reorder_table(table, np.arange(5))
+
+    def test_unknown_strategy_rejected(self, table):
+        with pytest.raises(ReproError, match="unknown reordering"):
+            reorder(table, "shuffle")
+
+    def test_strategies_registry(self):
+        assert set(STRATEGIES) == {"lexicographic", "gray"}
+
+
+class TestCompressionEffect:
+    """The point of the exercise: reordering must shrink WAH bitmaps."""
+
+    def test_bre_compresses_after_reordering(self, table):
+        baseline = RangeEncodedBitmapIndex(table, codec="wah").nbytes()
+        reordered, _ = reorder(table, "gray")
+        improved = RangeEncodedBitmapIndex(reordered, codec="wah").nbytes()
+        assert improved < 0.8 * baseline
+
+    def test_bee_compresses_after_reordering(self, table):
+        baseline = EqualityEncodedBitmapIndex(table, codec="wah").nbytes()
+        reordered, _ = reorder(table, "gray")
+        improved = EqualityEncodedBitmapIndex(reordered, codec="wah").nbytes()
+        assert improved < baseline
+
+    def test_queries_remain_correct_with_id_translation(self, table, rng):
+        reordered, perm = reorder(table, "gray")
+        index = RangeEncodedBitmapIndex(reordered, codec="wah")
+        for _ in range(10):
+            lo = int(rng.integers(1, 9))
+            hi = int(rng.integers(lo, 9))
+            query = RangeQuery.from_bounds({"a": (lo, hi), "b": (2, 6)})
+            for semantics in MissingSemantics:
+                original_ids = set(evaluate(table, query, semantics).tolist())
+                reordered_ids = index.execute_ids(query, semantics)
+                translated = set(perm[reordered_ids].tolist())
+                assert translated == original_ids

@@ -1,0 +1,76 @@
+"""Unit tests for schemas and attribute specs."""
+
+import pytest
+
+from repro.dataset.schema import MISSING, AttributeSpec, Schema
+from repro.errors import SchemaError
+
+
+class TestAttributeSpec:
+    def test_valid_spec(self):
+        spec = AttributeSpec("age", 120)
+        assert spec.name == "age"
+        assert spec.cardinality == 120
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("", 5)
+
+    def test_nonpositive_cardinality_rejected(self):
+        with pytest.raises(SchemaError):
+            AttributeSpec("a", 0)
+
+    def test_validate_value_accepts_domain_and_missing(self):
+        spec = AttributeSpec("a", 5)
+        spec.validate_value(1)
+        spec.validate_value(5)
+        spec.validate_value(MISSING)
+
+    def test_validate_value_rejects_out_of_domain(self):
+        spec = AttributeSpec("a", 5)
+        with pytest.raises(SchemaError):
+            spec.validate_value(6)
+        with pytest.raises(SchemaError):
+            spec.validate_value(-1)
+
+
+class TestSchema:
+    def test_names_in_order(self):
+        schema = Schema([AttributeSpec("b", 2), AttributeSpec("a", 3)])
+        assert schema.names == ("b", "a")
+        assert schema.dimensionality == 2
+
+    def test_from_cardinalities(self):
+        schema = Schema.from_cardinalities({"x": 5, "y": 10})
+        assert schema.cardinality("x") == 5
+        assert schema.cardinality("y") == 10
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([AttributeSpec("a", 2), AttributeSpec("a", 3)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_unknown_attribute_lookup(self):
+        schema = Schema.from_cardinalities({"x": 5})
+        with pytest.raises(SchemaError):
+            schema.attribute("nope")
+
+    def test_contains_and_iter(self):
+        schema = Schema.from_cardinalities({"x": 5, "y": 2})
+        assert "x" in schema and "z" not in schema
+        assert [s.name for s in schema] == ["x", "y"]
+        assert len(schema) == 2
+
+    def test_equality(self):
+        a = Schema.from_cardinalities({"x": 5})
+        b = Schema.from_cardinalities({"x": 5})
+        c = Schema.from_cardinalities({"x": 6})
+        assert a == b
+        assert a != c
+
+    def test_missing_constant_is_zero(self):
+        # The coded-missing convention the whole package relies on.
+        assert MISSING == 0

@@ -1,0 +1,81 @@
+"""Reproduction checks for the paper's Table 7 (dataset composition).
+
+Table 7 (left) specifies the synthetic dataset's column-count grid over
+cardinality x percent-missing; Table 7 (right) the census dataset's grid
+over cardinality bands x missing bands.  Our generators must reproduce the
+exact column counts, and the observed data must land in the declared bands.
+"""
+
+import pytest
+
+from repro.dataset.census import TABLE7_CENSUS_GRID, generate_census_like
+from repro.dataset.stats import composition_grid
+from repro.dataset.synthetic import TABLE7_SYNTHETIC_GRID, generate_synthetic
+
+
+class TestTable7Synthetic:
+    def test_grid_marginals_match_paper(self):
+        # Row totals: 50, 50, 100, 100, 100, 50; column totals: 90 each.
+        row_totals = {
+            card: sum(by_missing.values())
+            for card, by_missing in TABLE7_SYNTHETIC_GRID.items()
+        }
+        assert row_totals == {2: 50, 5: 50, 10: 100, 20: 100, 50: 100, 100: 50}
+        for pct in (10, 20, 30, 40, 50):
+            col_total = sum(
+                by_missing[pct] for by_missing in TABLE7_SYNTHETIC_GRID.values()
+            )
+            assert col_total == 90
+
+    @pytest.mark.slow
+    def test_generated_dataset_matches_grid(self):
+        # Generate a down-scaled version of the full 450-column dataset and
+        # verify every (cardinality, missing band) cell count.
+        table = generate_synthetic(num_records=2000, seed=1)
+        assert table.schema.dimensionality == 450
+        observed: dict[tuple[int, int], int] = {}
+        for spec in table.schema:
+            pct = round(table.missing_fraction(spec.name) * 100 / 10) * 10
+            key = (spec.cardinality, pct)
+            observed[key] = observed.get(key, 0) + 1
+        for card, by_missing in TABLE7_SYNTHETIC_GRID.items():
+            for pct, count in by_missing.items():
+                assert observed.get((card, pct), 0) == count, (card, pct)
+
+
+class TestTable7Census:
+    def test_grid_totals_match_paper(self):
+        assert (
+            sum(
+                count
+                for by_missing in TABLE7_CENSUS_GRID.values()
+                for count in by_missing.values()
+            )
+            == 48
+        )
+        # Spot-check the printed marginals: 15 + 21 + 7 + 5 rows; 20
+        # attributes with no missing data.
+        assert sum(TABLE7_CENSUS_GRID["<10"].values()) == 15
+        assert sum(TABLE7_CENSUS_GRID["10-50"].values()) == 21
+        assert sum(TABLE7_CENSUS_GRID["51-100"].values()) == 7
+        assert sum(TABLE7_CENSUS_GRID[">100"].values()) == 5
+        assert sum(g["0"] for g in TABLE7_CENSUS_GRID.values()) == 20
+
+    def test_generated_dataset_band_composition(self):
+        table = generate_census_like(num_records=3000, seed=1990)
+        grid = composition_grid(table, [9, 50, 100], [0.0, 10.0, 25.0, 50.0])
+        # Cardinality-band totals must match the paper's row totals exactly
+        # (cardinalities are sampled within bands, so they cannot drift).
+        by_card = {}
+        for (card_band, _), count in grid.items():
+            by_card[card_band] = by_card.get(card_band, 0) + count
+        assert by_card == {"<=9": 15, "<=50": 21, "<=100": 7, ">100": 5}
+
+    def test_zero_missing_attributes_count(self):
+        table = generate_census_like(num_records=3000, seed=1990)
+        zero_missing = sum(
+            1
+            for spec in table.schema
+            if table.missing_fraction(spec.name) == 0.0
+        )
+        assert zero_missing == 20

@@ -1,0 +1,137 @@
+"""Shape tests for the per-figure experiment drivers (tiny scales).
+
+These run every figure's driver at CI scale and assert the *qualitative*
+shapes the paper reports — the benchmarks rerun them at realistic scale.
+"""
+
+import pytest
+
+from repro.experiments.fig1 import run_fig1
+from repro.experiments.fig4 import run_fig4a, run_fig4b
+from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.realdata import (
+    census_range_workload,
+    run_real_compression,
+    run_real_query_time,
+)
+from repro.dataset.census import generate_census_like
+from repro.query.model import MissingSemantics
+
+
+class TestFig1:
+    def test_rtree_degrades_with_missing_data(self):
+        result = run_fig1(
+            num_records=2000, num_queries=5, missing_pcts=(0, 20, 50)
+        )
+        normalized = result.column("normalized_accesses")
+        assert normalized[0] == pytest.approx(1.0)
+        # Degradation must be monotone-ish and clearly super-unit at 50%.
+        assert normalized[1] > 1.1
+        assert normalized[2] > normalized[1]
+        # 2**k subquery expansion under missing-is-a-match.
+        assert result.column("subqueries")[1] == pytest.approx(4.0)
+
+
+class TestFig4:
+    def test_size_vs_cardinality_shapes(self):
+        result = run_fig4a(num_records=5000, cardinalities=(2, 10, 50))
+        bee_raw = result.column("bee_raw")
+        bre_raw = result.column("bre_raw")
+        bre_wah = result.column("bre_wah")
+        vafile = result.column("vafile")
+        # Raw bitmap sizes grow linearly with cardinality.
+        assert bee_raw[2] > 4 * bee_raw[1] > 4 * bee_raw[0]
+        # BRE does not benefit from WAH compression (Fig. 4a).
+        assert bre_wah[2] >= 0.95 * bre_raw[2]
+        # VA-file is smallest and grows ~log(C).
+        assert vafile[2] < bre_wah[2]
+        assert vafile[2] < 4 * vafile[0]
+
+    def test_size_vs_missing_shapes(self):
+        result = run_fig4b(num_records=5000, missing_pcts=(10, 50))
+        bee_wah = result.column("bee_wah")
+        vafile = result.column("vafile")
+        bre_wah = result.column("bre_wah")
+        # BEE compresses better as missing grows; VA-file is flat; BRE ~flat.
+        assert bee_wah[1] < bee_wah[0]
+        assert vafile[0] == vafile[1]
+        assert abs(bre_wah[1] - bre_wah[0]) / bre_wah[0] < 0.05
+
+
+class TestFig5:
+    def test_time_vs_cardinality_shapes(self):
+        result = run_fig5a(
+            num_records=5000, num_queries=5, cardinalities=(5, 50),
+            dimensionality=4,
+        )
+        bee_words = result.column("bee_words")
+        bre_words = result.column("bre_words")
+        # BEE work grows strongly with cardinality; BRE stays ~flat.
+        assert bee_words[1] > 2 * bee_words[0]
+        assert bre_words[1] < 2 * bre_words[0]
+        # BRE reads at most 3 bitmaps per dimension.
+        assert result.column("bre_bitmaps")[1] <= 5 * 4 * 3
+
+    def test_time_vs_missing_shapes(self):
+        result = run_fig5b(
+            num_records=5000, num_queries=5, missing_pcts=(10, 50),
+            dimensionality=4,
+        )
+        bee_bitmaps = result.column("bee_bitmaps")
+        # Fixed GS: higher missing -> lower attribute selectivity -> fewer
+        # BEE bitmaps per query.
+        assert bee_bitmaps[1] < bee_bitmaps[0]
+
+    def test_time_vs_dimensionality_is_linear(self):
+        result = run_fig5c(
+            num_records=5000, num_queries=5, dimensionalities=(2, 4, 8),
+        )
+        bre_words = result.column("bre_words")
+        va_words = result.column("va_words")
+        # Doubling k roughly doubles work for both techniques.
+        assert bre_words[2] == pytest.approx(4 * bre_words[0], rel=0.6)
+        assert va_words[2] == pytest.approx(4 * va_words[0], rel=0.2)
+
+    def test_both_semantics_produce_similar_graphs(self):
+        # Section 5.1: "the graphs look very similar in both scenarios".
+        match = run_fig5a(
+            num_records=4000, num_queries=5, cardinalities=(10,),
+            dimensionality=4, semantics=MissingSemantics.IS_MATCH,
+        )
+        not_match = run_fig5a(
+            num_records=4000, num_queries=5, cardinalities=(10,),
+            dimensionality=4, semantics=MissingSemantics.NOT_MATCH,
+        )
+        a = match.column("bre_words")[0]
+        b = not_match.column("bre_words")[0]
+        assert a == pytest.approx(b, rel=0.5)
+
+
+class TestRealData:
+    def test_compression_report_orders_encodings(self):
+        result, report = run_real_compression(num_records=8000)
+        # Section 5.2: equality compresses (far) better than range encoding.
+        assert report.overall_bee_ratio < report.overall_bre_ratio
+        assert report.overall_bee_ratio < 0.5
+        assert len(report.high_missing_bee_ratios) == 8
+        assert max(report.high_missing_bee_ratios) < min(
+            0.3, max(report.high_missing_bre_ratios) + 0.3
+        )
+        assert "bee_overall_ratio" in result.format()
+
+    def test_query_time_cost_model_favors_bitmaps(self):
+        result = run_real_query_time(num_records=8000, num_queries=10)
+        words = dict(zip(result.xs(), result.column("words_processed")))
+        # Section 5.3: skew lets the bitmaps operate over far fewer words
+        # than the VA-file's n-record scans (paper: 3-10x faster).
+        assert words["bre"] < words["vafile"]
+        assert words["bee"] < words["vafile"]
+
+    def test_census_workload_spans_20_percent(self):
+        table = generate_census_like(num_records=2000, seed=9)
+        queries = census_range_workload(table, num_queries=20, seed=3)
+        assert len(queries) == 20
+        for query in queries:
+            for name, interval in query.items():
+                cardinality = table.schema.cardinality(name)
+                assert interval.width == max(1, round(0.2 * cardinality))

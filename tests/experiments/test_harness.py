@@ -1,0 +1,53 @@
+"""Unit tests for the experiment harness plumbing."""
+
+import pytest
+
+from repro.experiments.harness import ExperimentResult, time_queries
+from repro.query.model import RangeQuery
+
+
+class TestExperimentResult:
+    def test_rows_and_columns(self):
+        result = ExperimentResult("T", "x", ["a", "b"])
+        result.add_row(1, 10.0, 20.0)
+        result.add_row(2, 30.0, 40.0)
+        assert result.xs() == [1, 2]
+        assert result.column("a") == [10.0, 30.0]
+        assert result.column("b") == [20.0, 40.0]
+
+    def test_wrong_value_count_rejected(self):
+        result = ExperimentResult("T", "x", ["a", "b"])
+        with pytest.raises(ValueError):
+            result.add_row(1, 10.0)
+
+    def test_format_contains_everything(self):
+        result = ExperimentResult("My experiment", "k", ["metric"])
+        result.add_row(5, 123456.0)
+        result.notes.append("a note")
+        text = result.format()
+        assert "My experiment" in text
+        assert "k" in text and "metric" in text
+        assert "123,456" in text
+        assert "note: a note" in text
+
+    def test_format_empty(self):
+        result = ExperimentResult("Empty", "x", ["y"])
+        assert "Empty" in result.format()
+
+    def test_float_formatting_ranges(self):
+        result = ExperimentResult("T", "x", ["v"])
+        result.add_row("tiny", 0.1234)
+        result.add_row("mid", 42.31)
+        result.add_row("zero", 0.0)
+        text = result.format()
+        assert "0.123" in text
+        assert "42.3" in text
+
+
+class TestTimeQueries:
+    def test_returns_milliseconds_and_runs_everything(self):
+        seen = []
+        queries = [RangeQuery.from_bounds({"a": (1, 2)})] * 5
+        elapsed = time_queries(seen.append, queries)
+        assert elapsed >= 0.0
+        assert len(seen) == 5

@@ -1,0 +1,35 @@
+"""Unit tests for the Markdown report writer."""
+
+from repro.experiments.harness import ExperimentResult
+from repro.experiments.report import build_report, result_to_markdown, write_report
+
+
+def _sample() -> ExperimentResult:
+    result = ExperimentResult("Fig. X - demo", "k", ["a_ms", "b_ms"])
+    result.add_row(2, 1.5, 1_234.0)
+    result.add_row(4, 3.25, 2_468.0)
+    result.notes.append("a note")
+    return result
+
+
+class TestMarkdown:
+    def test_section_structure(self):
+        text = result_to_markdown(_sample())
+        assert text.startswith("## Fig. X - demo")
+        assert "| k | a_ms | b_ms |" in text
+        assert "| 2 | 1.500 | 1,234 |" in text
+        assert "> a note" in text
+
+    def test_build_report_combines_sections(self):
+        text = build_report([_sample(), _sample()], title="Run", preamble="p")
+        assert text.startswith("# Run")
+        assert text.count("## Fig. X - demo") == 2
+        assert "p" in text
+        assert text.endswith("\n")
+
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_report([_sample()], path)
+        content = path.read_text()
+        assert "# Reproduction run" in content
+        assert "Fig. X - demo" in content

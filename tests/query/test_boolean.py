@@ -1,0 +1,199 @@
+"""Unit and property tests for boolean predicate trees."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.core.engine import IncompleteDatabase
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import DomainError, QueryError
+from repro.query.boolean import (
+    And,
+    Atom,
+    Not,
+    Or,
+    evaluate_predicate,
+    evaluate_predicate_mask,
+    from_range_query,
+)
+from repro.query.ground_truth import evaluate
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+from repro.vafile.vafile import VAFile
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(
+        600, {"a": 10, "b": 5}, {"a": 0.25, "b": 0.15}, seed=91
+    )
+
+
+class TestConstruction:
+    def test_atom_of(self):
+        assert Atom.of("a", 3) == Atom("a", Interval(3, 3))
+        assert Atom.of("a", 2, 5) == Atom("a", Interval(2, 5))
+
+    def test_operator_sugar(self):
+        p = Atom.of("a", 1) & Atom.of("b", 2) | ~Atom.of("a", 3)
+        assert isinstance(p, Or)
+        assert p.attributes() == frozenset({"a", "b"})
+
+    def test_empty_combinators_rejected(self):
+        with pytest.raises(QueryError):
+            And(())
+        with pytest.raises(QueryError):
+            Or(())
+
+    def test_atoms_iterates_all_leaves(self):
+        p = (Atom.of("a", 1) | Atom.of("b", 2)) & ~Atom.of("a", 4)
+        assert len(list(p.atoms())) == 3
+
+    def test_from_range_query_equivalence(self, table):
+        query = RangeQuery.from_bounds({"a": (2, 6), "b": (1, 3)})
+        predicate = from_range_query(query)
+        for semantics in MissingSemantics:
+            assert np.array_equal(
+                evaluate_predicate(table, predicate, semantics),
+                evaluate(table, query, semantics),
+            )
+
+
+class TestOracleSemantics:
+    def test_not_under_missing_is_match_excludes_missing(self, table):
+        # A missing 'a' matches Atom(a in [2,6]) under IS_MATCH, so it must
+        # NOT match the negation.
+        predicate = ~Atom.of("a", 2, 6)
+        ids = evaluate_predicate(table, predicate, MissingSemantics.IS_MATCH)
+        missing_rows = set(np.flatnonzero(table.missing_mask("a")).tolist())
+        assert missing_rows.isdisjoint(ids.tolist())
+
+    def test_not_under_not_match_includes_missing(self, table):
+        predicate = ~Atom.of("a", 2, 6)
+        ids = evaluate_predicate(table, predicate, MissingSemantics.NOT_MATCH)
+        missing_rows = set(np.flatnonzero(table.missing_mask("a")).tolist())
+        assert missing_rows <= set(ids.tolist())
+
+    def test_disjunction(self, table):
+        predicate = Atom.of("a", 1, 2) | Atom.of("a", 9, 10)
+        mask = evaluate_predicate_mask(
+            table, predicate, MissingSemantics.NOT_MATCH
+        )
+        column = table.column("a")
+        expect = ((column >= 1) & (column <= 2)) | ((column >= 9) & (column <= 10))
+        assert np.array_equal(mask, expect)
+
+    def test_out_of_domain_atom_rejected(self, table):
+        with pytest.raises(DomainError):
+            evaluate_predicate(
+                table, Atom.of("a", 1, 11), MissingSemantics.IS_MATCH
+            )
+
+
+class TestIndexExecution:
+    @pytest.mark.parametrize("cls", [
+        EqualityEncodedBitmapIndex,
+        RangeEncodedBitmapIndex,
+        IntervalEncodedBitmapIndex,
+    ])
+    def test_bitmap_indexes_match_oracle(self, table, cls):
+        index = cls(table, codec="wah")
+        predicates = [
+            Atom.of("a", 3, 7) & ~Atom.of("b", 2),
+            (Atom.of("a", 1, 2) | Atom.of("a", 8, 10)) & Atom.of("b", 1, 4),
+            ~(Atom.of("a", 5) | ~Atom.of("b", 3, 5)),
+            Or((Atom.of("a", 1), Atom.of("a", 5), Atom.of("a", 10))),
+        ]
+        for predicate in predicates:
+            for semantics in MissingSemantics:
+                expect = evaluate_predicate(table, predicate, semantics)
+                got = index.execute_predicate_ids(predicate, semantics)
+                assert np.array_equal(got, expect), (predicate, semantics)
+
+    def test_vafile_matches_oracle(self, table):
+        va = VAFile(table, bits={"a": 2, "b": 2})
+        predicate = (Atom.of("a", 2, 6) & Atom.of("b", 1, 2)) | ~Atom.of("a", 8, 10)
+        for semantics in MissingSemantics:
+            expect = evaluate_predicate(table, predicate, semantics)
+            got = va.execute_predicate_ids(predicate, semantics)
+            assert np.array_equal(got, expect)
+
+    def test_execute_count_avoids_materialization(self, table):
+        index = RangeEncodedBitmapIndex(table, codec="wah")
+        query = RangeQuery.from_bounds({"a": (2, 6)})
+        assert index.execute_count(query, MissingSemantics.IS_MATCH) == len(
+            index.execute_ids(query, MissingSemantics.IS_MATCH)
+        )
+
+
+class TestEngineIntegration:
+    def test_engine_routes_predicates_to_bitmaps(self, table):
+        db = IncompleteDatabase(table)
+        db.create_index("rng", "bre")
+        predicate = Atom.of("a", 2, 6) | ~Atom.of("b", 1, 2)
+        report = db.query_predicate(predicate, MissingSemantics.IS_MATCH)
+        assert report.kind == "bre"
+        expect = evaluate_predicate(table, predicate, MissingSemantics.IS_MATCH)
+        assert np.array_equal(report.record_ids, expect)
+
+    def test_engine_scan_fallback(self, table):
+        db = IncompleteDatabase(table)
+        predicate = Atom.of("a", 2, 6)
+        report = db.query_predicate(predicate)
+        assert report.kind == "scan"
+
+    def test_engine_mosaic_falls_back_to_scan(self, table):
+        db = IncompleteDatabase(table)
+        db.create_index("m", "mosaic")
+        report = db.query_predicate(Atom.of("a", 1, 3))
+        assert report.kind == "scan"  # MOSAIC has no predicate support
+
+    def test_engine_rejects_non_predicate(self, table):
+        db = IncompleteDatabase(table)
+        with pytest.raises(QueryError):
+            db.query_predicate("a > 3")
+
+    def test_using_uncovered_rejected(self, table):
+        db = IncompleteDatabase(table)
+        db.create_index("partial", "bre", ["a"])
+        with pytest.raises(QueryError, match="does not cover"):
+            db.query_predicate(Atom.of("b", 1, 2), using="partial")
+
+
+# -- property test: random predicate trees -------------------------------------
+
+@st.composite
+def predicates(draw, depth: int = 0):
+    if depth >= 3 or draw(st.booleans()):
+        attribute = draw(st.sampled_from(["a", "b"]))
+        cardinality = 10 if attribute == "a" else 5
+        lo = draw(st.integers(min_value=1, max_value=cardinality))
+        hi = draw(st.integers(min_value=lo, max_value=cardinality))
+        return Atom(attribute, Interval(lo, hi))
+    kind = draw(st.sampled_from(["and", "or", "not"]))
+    if kind == "not":
+        return Not(draw(predicates(depth=depth + 1)))
+    children = tuple(
+        draw(predicates(depth=depth + 1))
+        for _ in range(draw(st.integers(min_value=1, max_value=3)))
+    )
+    return And(children) if kind == "and" else Or(children)
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicate=predicates())
+def test_property_random_trees_agree(predicate):
+    table = generate_uniform_table(
+        300, {"a": 10, "b": 5}, {"a": 0.3, "b": 0.2}, seed=99
+    )
+    bre = RangeEncodedBitmapIndex(table, codec="wah")
+    bee = EqualityEncodedBitmapIndex(table, codec="none")
+    va = VAFile(table, bits={"a": 2, "b": 2})
+    for semantics in MissingSemantics:
+        expect = evaluate_predicate(table, predicate, semantics)
+        assert np.array_equal(bre.execute_predicate_ids(predicate, semantics), expect)
+        assert np.array_equal(bee.execute_predicate_ids(predicate, semantics), expect)
+        assert np.array_equal(va.execute_predicate_ids(predicate, semantics), expect)

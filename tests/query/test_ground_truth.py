@@ -1,0 +1,80 @@
+"""Unit tests for the brute-force oracle (Section 3 answer definitions)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.table import IncompleteTable
+from repro.errors import DomainError, QueryError
+from repro.query.ground_truth import evaluate, evaluate_mask, selectivity
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@pytest.fixture
+def table():
+    schema = Schema([AttributeSpec("a", 5), AttributeSpec("b", 3)])
+    return IncompleteTable(
+        schema,
+        {
+            #          r0 r1 r2 r3 r4
+            "a": np.array([1, 0, 3, 5, 0]),
+            "b": np.array([2, 2, 0, 1, 0]),
+        },
+    )
+
+
+class TestSemantics:
+    def test_missing_is_match_counts_missing_rows(self, table):
+        q = RangeQuery.from_bounds({"a": (1, 3)})
+        # a in [1,3]: r0 (1), r2 (3); missing: r1, r4.
+        assert evaluate(table, q, MissingSemantics.IS_MATCH).tolist() == [0, 1, 2, 4]
+
+    def test_missing_not_match_excludes_missing_rows(self, table):
+        q = RangeQuery.from_bounds({"a": (1, 3)})
+        assert evaluate(table, q, MissingSemantics.NOT_MATCH).tolist() == [0, 2]
+
+    def test_conjunction_is_match(self, table):
+        q = RangeQuery.from_bounds({"a": (1, 3), "b": (2, 3)})
+        # a side: {r0,r1,r2,r4}; b in [2,3]: r0,r1; b missing: r2,r4.
+        assert evaluate(table, q, MissingSemantics.IS_MATCH).tolist() == [0, 1, 2, 4]
+
+    def test_conjunction_not_match(self, table):
+        q = RangeQuery.from_bounds({"a": (1, 3), "b": (2, 3)})
+        assert evaluate(table, q, MissingSemantics.NOT_MATCH).tolist() == [0]
+
+    def test_point_query(self, table):
+        q = RangeQuery.point({"a": 5})
+        assert evaluate(table, q, MissingSemantics.NOT_MATCH).tolist() == [3]
+        assert evaluate(table, q, MissingSemantics.IS_MATCH).tolist() == [1, 3, 4]
+
+    def test_mask_dtype_and_length(self, table):
+        q = RangeQuery.from_bounds({"a": (1, 5)})
+        mask = evaluate_mask(table, q, MissingSemantics.IS_MATCH)
+        assert mask.dtype == bool
+        assert len(mask) == 5
+
+
+class TestValidation:
+    def test_unknown_attribute_rejected(self, table):
+        with pytest.raises(QueryError):
+            evaluate(table, RangeQuery.from_bounds({"zz": (1, 2)}),
+                     MissingSemantics.IS_MATCH)
+
+    def test_out_of_domain_interval_rejected(self, table):
+        with pytest.raises(DomainError):
+            evaluate(table, RangeQuery.from_bounds({"a": (1, 6)}),
+                     MissingSemantics.IS_MATCH)
+
+
+class TestSelectivity:
+    def test_observed_selectivity(self, table):
+        q = RangeQuery.from_bounds({"a": (1, 3)})
+        assert selectivity(table, q, MissingSemantics.IS_MATCH) == pytest.approx(0.8)
+        assert selectivity(table, q, MissingSemantics.NOT_MATCH) == pytest.approx(0.4)
+
+    def test_empty_table(self):
+        schema = Schema([AttributeSpec("a", 2)])
+        empty = IncompleteTable(schema, {"a": np.array([], dtype=np.int64)})
+        q = RangeQuery.from_bounds({"a": (1, 2)})
+        assert selectivity(empty, q, MissingSemantics.IS_MATCH) == 0.0
+        assert evaluate(empty, q, MissingSemantics.IS_MATCH).tolist() == []

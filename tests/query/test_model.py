@@ -1,0 +1,96 @@
+"""Unit tests for Interval, RangeQuery, and MissingSemantics."""
+
+import pytest
+
+from repro.errors import DomainError, QueryError
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+
+
+class TestInterval:
+    def test_basic_properties(self):
+        iv = Interval(2, 5)
+        assert iv.lo == 2 and iv.hi == 5
+        assert iv.width == 4
+        assert not iv.is_point
+
+    def test_point_interval(self):
+        assert Interval(3, 3).is_point
+        assert Interval(3, 3).width == 1
+
+    def test_bounds_below_one_rejected(self):
+        with pytest.raises(DomainError):
+            Interval(0, 5)
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(DomainError):
+            Interval(5, 2)
+
+    def test_contains(self):
+        iv = Interval(2, 5)
+        assert iv.contains(2) and iv.contains(5)
+        assert not iv.contains(1) and not iv.contains(6)
+
+    def test_selectivity_matches_paper_formula(self):
+        # AS = (v2 - v1 + 1) / C
+        assert Interval(3, 7).selectivity(10) == pytest.approx(0.5)
+        assert Interval(1, 1).selectivity(4) == pytest.approx(0.25)
+
+    def test_selectivity_beyond_domain_rejected(self):
+        with pytest.raises(DomainError):
+            Interval(3, 7).selectivity(5)
+
+    def test_str_forms(self):
+        assert str(Interval(3, 3)) == "= 3"
+        assert str(Interval(1, 4)) == "in [1, 4]"
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Interval(1, 2).lo = 3
+
+
+class TestRangeQuery:
+    def test_from_bounds(self):
+        q = RangeQuery.from_bounds({"a": (1, 3), "b": (2, 2)})
+        assert q.dimensionality == 2
+        assert q.interval("a") == Interval(1, 3)
+        assert not q.is_point
+
+    def test_point_constructor(self):
+        q = RangeQuery.point({"a": 4, "b": 1})
+        assert q.is_point
+        assert q.interval("b") == Interval(1, 1)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery({})
+
+    def test_unknown_attribute_interval_rejected(self):
+        q = RangeQuery.from_bounds({"a": (1, 2)})
+        with pytest.raises(QueryError):
+            q.interval("b")
+
+    def test_contains_and_len(self):
+        q = RangeQuery.from_bounds({"a": (1, 2)})
+        assert "a" in q and "b" not in q
+        assert len(q) == 1
+
+    def test_attributes_preserve_order(self):
+        q = RangeQuery.from_bounds({"z": (1, 1), "a": (1, 1)})
+        assert q.attributes == ("z", "a")
+
+    def test_equality_and_hash(self):
+        a = RangeQuery.from_bounds({"a": (1, 2)})
+        b = RangeQuery.from_bounds({"a": (1, 2)})
+        c = RangeQuery.from_bounds({"a": (1, 3)})
+        assert a == b and a != c
+        assert hash(a) == hash(b)
+        assert a != "text"
+
+    def test_items_iterates_pairs(self):
+        q = RangeQuery.from_bounds({"a": (1, 2), "b": (3, 3)})
+        assert dict(q.items()) == {"a": Interval(1, 2), "b": Interval(3, 3)}
+
+
+class TestMissingSemantics:
+    def test_two_semantics_exist(self):
+        assert {s.value for s in MissingSemantics} == {"is_match", "not_match"}

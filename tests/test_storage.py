@@ -1,0 +1,151 @@
+"""Unit tests for index-file serialization."""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.alternatives import InlineMissingEqualityIndex
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import CorruptIndexError, ReproError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+from repro.storage.serialize import (
+    dump_bitmap_index,
+    dump_vafile,
+    load_bitmap_index,
+    load_bitmap_index_file,
+    load_vafile,
+    load_vafile_file,
+    pack_codes,
+    save_bitmap_index,
+    save_vafile,
+    unpack_codes,
+)
+from repro.vafile.vafile import VAFile
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(
+        700, {"a": 10, "b": 3}, {"a": 0.3, "b": 0.0}, seed=51
+    )
+
+
+QUERY = RangeQuery.from_bounds({"a": (2, 7), "b": (1, 2)})
+
+
+class TestBitmapRoundTrip:
+    @pytest.mark.parametrize("cls", [EqualityEncodedBitmapIndex,
+                                     RangeEncodedBitmapIndex,
+                                     IntervalEncodedBitmapIndex])
+    @pytest.mark.parametrize("codec", ["none", "wah", "bbc"])
+    def test_loaded_index_answers_identically(self, table, cls, codec):
+        index = cls(table, codec=codec)
+        loaded = load_bitmap_index(dump_bitmap_index(index))
+        assert type(loaded) is cls
+        assert loaded.codec == codec
+        assert loaded.attributes == index.attributes
+        for semantics in MissingSemantics:
+            assert np.array_equal(
+                loaded.execute_ids(QUERY, semantics),
+                index.execute_ids(QUERY, semantics),
+            )
+
+    def test_metadata_survives(self, table):
+        index = RangeEncodedBitmapIndex(table, codec="wah")
+        loaded = load_bitmap_index(dump_bitmap_index(index))
+        assert loaded.cardinality("a") == 10
+        assert loaded.has_missing("a")
+        assert not loaded.has_missing("b")
+        assert loaded.num_records == 700
+        assert loaded.nbytes() == index.nbytes()
+
+    def test_file_roundtrip(self, table, tmp_path):
+        index = EqualityEncodedBitmapIndex(table, codec="wah")
+        path = tmp_path / "index.rpix"
+        size = save_bitmap_index(index, path)
+        assert path.stat().st_size == size
+        loaded = load_bitmap_index_file(path)
+        assert np.array_equal(
+            loaded.execute_ids(QUERY, MissingSemantics.IS_MATCH),
+            index.execute_ids(QUERY, MissingSemantics.IS_MATCH),
+        )
+
+    def test_nonserializable_encoding_rejected(self, table):
+        index = InlineMissingEqualityIndex(table)
+        with pytest.raises(ReproError, match="serializable"):
+            dump_bitmap_index(index)
+
+
+class TestBitmapValidation:
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CorruptIndexError, match="magic"):
+            load_bitmap_index(b"NOPE" + b"\x00" * 32)
+
+    def test_truncated_payload_rejected(self, table):
+        payload = dump_bitmap_index(
+            EqualityEncodedBitmapIndex(table, codec="wah")
+        )
+        with pytest.raises(CorruptIndexError):
+            load_bitmap_index(payload[: len(payload) // 2])
+
+    def test_vafile_payload_rejected_as_bitmap(self, table):
+        payload = dump_vafile(VAFile(table))
+        with pytest.raises(CorruptIndexError, match="bitmap"):
+            load_bitmap_index(payload)
+
+    def test_corrupt_wah_stream_rejected(self, table):
+        payload = bytearray(
+            dump_bitmap_index(EqualityEncodedBitmapIndex(table, codec="wah"))
+        )
+        # Flip bytes in the middle of the first bitvector payload.
+        payload[60:64] = b"\xff\xff\xff\xff"
+        with pytest.raises(CorruptIndexError):
+            load_bitmap_index(bytes(payload))
+
+
+class TestCodePacking:
+    @pytest.mark.parametrize("bits", [1, 2, 3, 7, 8, 9, 16])
+    def test_pack_unpack_roundtrip(self, rng, bits):
+        codes = rng.integers(0, 1 << bits, size=333, dtype=np.uint32)
+        payload = pack_codes(codes, bits)
+        assert len(payload) == (333 * bits + 7) // 8
+        assert np.array_equal(unpack_codes(payload, bits, 333), codes)
+
+    def test_short_payload_rejected(self):
+        with pytest.raises(CorruptIndexError):
+            unpack_codes(b"\x01", 8, 100)
+
+
+class TestVaFileRoundTrip:
+    @pytest.mark.parametrize("quantization", ["uniform", "vaplus"])
+    def test_loaded_vafile_answers_identically(self, table, quantization):
+        va = VAFile(table, bits={"a": 2, "b": 2}, quantization=quantization)
+        loaded = load_vafile(dump_vafile(va), table)
+        assert loaded.quantization == quantization
+        for semantics in MissingSemantics:
+            expect = evaluate(table, QUERY, semantics)
+            assert np.array_equal(loaded.execute_ids(QUERY, semantics), expect)
+
+    def test_file_roundtrip_and_size(self, table, tmp_path):
+        va = VAFile(table)
+        path = tmp_path / "va.rpix"
+        size = save_vafile(va, path)
+        assert path.stat().st_size == size
+        # The file is dominated by the bit-packed approximations.
+        assert size < va.approximation_nbytes() * 1.5 + 200
+        loaded = load_vafile_file(path, table)
+        assert np.array_equal(loaded.codes("a"), va.codes("a"))
+
+    def test_wrong_table_length_rejected(self, table):
+        payload = dump_vafile(VAFile(table))
+        other = generate_uniform_table(10, {"a": 10, "b": 3}, {}, seed=1)
+        with pytest.raises(CorruptIndexError, match="records"):
+            load_vafile(payload, other)
+
+    def test_bitmap_payload_rejected_as_vafile(self, table):
+        payload = dump_bitmap_index(RangeEncodedBitmapIndex(table))
+        with pytest.raises(CorruptIndexError, match="VA-file"):
+            load_vafile(payload, table)

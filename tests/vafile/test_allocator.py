@@ -1,0 +1,105 @@
+"""Unit tests for VA-file bit-budget allocation."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import IndexBuildError
+from repro.query.model import MissingSemantics, RangeQuery
+from repro.vafile.allocator import allocate_bits, expected_boundary_fraction
+from repro.vafile.quantizer import default_bits
+from repro.vafile.vafile import VAFile, VaQueryStats
+
+
+@pytest.fixture
+def table():
+    return generate_uniform_table(
+        5000,
+        {"tiny": 2, "small": 10, "big": 100},
+        {"tiny": 0.1, "small": 0.1, "big": 0.1},
+        seed=161,
+    )
+
+
+class TestBoundaryFraction:
+    def test_zero_once_bins_are_exact(self, table):
+        for name, cardinality in (("tiny", 2), ("small", 10), ("big", 100)):
+            bits = default_bits(cardinality)
+            assert expected_boundary_fraction(
+                table.column(name), cardinality, bits
+            ) == 0.0
+
+    def test_decreases_with_bits(self, table):
+        column = table.column("big")
+        costs = [
+            expected_boundary_fraction(column, 100, bits)
+            for bits in (1, 2, 4, 6)
+        ]
+        assert costs == sorted(costs, reverse=True)
+        assert costs[0] > 0.5  # one bin: almost every bound is partial
+
+    def test_unknown_quantization_rejected(self, table):
+        with pytest.raises(IndexBuildError):
+            expected_boundary_fraction(table.column("big"), 100, 2, "magic")
+
+
+class TestAllocation:
+    def test_budget_respected_and_floor_enforced(self, table):
+        allocation = allocate_bits(table, total_bits=8)
+        assert sum(allocation.values()) <= 8
+        assert all(bits >= 1 for bits in allocation.values())
+
+    def test_high_cardinality_attracts_bits(self, table):
+        allocation = allocate_bits(table, total_bits=8)
+        assert allocation["big"] > allocation["tiny"]
+
+    def test_saturates_at_exact_budget(self, table):
+        generous = allocate_bits(table, total_bits=100)
+        assert generous["tiny"] <= default_bits(2)
+        assert generous["small"] <= default_bits(10)
+        assert generous["big"] <= default_bits(100)
+
+    def test_insufficient_budget_rejected(self, table):
+        with pytest.raises(IndexBuildError, match="minimum 1 bit"):
+            allocate_bits(table, total_bits=2)
+
+    def test_empty_attribute_list_rejected(self, table):
+        with pytest.raises(IndexBuildError):
+            allocate_bits(table, total_bits=8, attributes=[])
+
+    def test_allocated_vafile_refines_less_than_equal_split(self, table, rng):
+        # The allocator minimizes total boundary mass across attributes, so
+        # compare on a workload querying every attribute uniformly.
+        total = 9  # 3 bits/attribute if split equally
+        allocation = allocate_bits(table, total_bits=total)
+        smart = VAFile(table, bits=allocation)
+        naive = VAFile(table, bits={"tiny": 3, "small": 3, "big": 3})
+        smart_stats = VaQueryStats()
+        naive_stats = VaQueryStats()
+        for trial in range(60):
+            name, cardinality = (("tiny", 2), ("small", 10), ("big", 100))[
+                trial % 3
+            ]
+            lo = int(rng.integers(1, cardinality + 1))
+            hi = int(rng.integers(lo, cardinality + 1))
+            query = RangeQuery.from_bounds({name: (lo, hi)})
+            a = smart.execute_ids(query, MissingSemantics.IS_MATCH, smart_stats)
+            b = naive.execute_ids(query, MissingSemantics.IS_MATCH, naive_stats)
+            assert np.array_equal(a, b)  # both exact
+        assert smart_stats.records_refined < naive_stats.records_refined
+
+    def test_allocation_correctness_end_to_end(self, table, rng):
+        from repro.query.ground_truth import evaluate
+
+        allocation = allocate_bits(table, total_bits=7, quantization="vaplus")
+        va = VAFile(table, bits=allocation, quantization="vaplus")
+        for _ in range(20):
+            bounds = {}
+            for name, cardinality in (("tiny", 2), ("small", 10), ("big", 100)):
+                lo = int(rng.integers(1, cardinality + 1))
+                hi = int(rng.integers(lo, cardinality + 1))
+                bounds[name] = (lo, hi)
+            query = RangeQuery.from_bounds(bounds)
+            for semantics in MissingSemantics:
+                expect = evaluate(table, query, semantics)
+                assert np.array_equal(va.execute_ids(query, semantics), expect)

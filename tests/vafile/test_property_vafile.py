@@ -1,0 +1,87 @@
+"""Property-based tests: the VA-file equals the oracle at any bit budget."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.table import IncompleteTable
+from repro.query.ground_truth import evaluate
+from repro.query.model import Interval, MissingSemantics, RangeQuery
+from repro.vafile.vafile import VAFile
+
+
+@st.composite
+def table_query_bits(draw):
+    n = draw(st.integers(min_value=1, max_value=100))
+    cardinality = draw(st.integers(min_value=1, max_value=20))
+    column = np.array(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=cardinality),
+                min_size=n,
+                max_size=n,
+            )
+        ),
+        dtype=np.int64,
+    )
+    schema = Schema([AttributeSpec("a", cardinality)])
+    table = IncompleteTable(schema, {"a": column})
+    lo = draw(st.integers(min_value=1, max_value=cardinality))
+    hi = draw(st.integers(min_value=lo, max_value=cardinality))
+    bits = draw(st.one_of(st.none(), st.integers(min_value=1, max_value=6)))
+    return table, RangeQuery({"a": Interval(lo, hi)}), bits
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=table_query_bits())
+def test_vafile_matches_oracle(data):
+    table, query, bits = data
+    va = VAFile(table, bits=None if bits is None else {"a": bits})
+    for semantics in MissingSemantics:
+        expect = evaluate(table, query, semantics)
+        assert np.array_equal(va.execute_ids(query, semantics), expect)
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=table_query_bits())
+def test_candidates_never_dismiss_answers(data):
+    table, query, bits = data
+    va = VAFile(table, bits=None if bits is None else {"a": bits})
+    for semantics in MissingSemantics:
+        truth = set(evaluate(table, query, semantics).tolist())
+        candidates = set(
+            np.flatnonzero(va.candidate_mask(query, semantics)).tolist()
+        )
+        assert truth <= candidates
+
+
+@settings(max_examples=80, deadline=None)
+@given(data=table_query_bits())
+def test_vaplus_matches_oracle(data):
+    table, query, bits = data
+    va = VAFile(
+        table,
+        bits=None if bits is None else {"a": bits},
+        quantization="vaplus",
+    )
+    for semantics in MissingSemantics:
+        expect = evaluate(table, query, semantics)
+        assert np.array_equal(va.execute_ids(query, semantics), expect)
+
+
+@settings(max_examples=60, deadline=None)
+@given(data=table_query_bits())
+def test_coarser_bits_never_shrink_candidates(data):
+    # Fewer bits -> coarser bins -> candidate sets can only grow.
+    table, query, _ = data
+    coarse = VAFile(table, bits={"a": 1})
+    fine = VAFile(table)  # paper budget: exact bins
+    for semantics in MissingSemantics:
+        fine_set = set(
+            np.flatnonzero(fine.candidate_mask(query, semantics)).tolist()
+        )
+        coarse_set = set(
+            np.flatnonzero(coarse.candidate_mask(query, semantics)).tolist()
+        )
+        assert fine_set <= coarse_set

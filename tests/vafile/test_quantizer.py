@@ -1,0 +1,139 @@
+"""Unit tests for the uniform and quantile (VA+) quantizers."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.census import skewed_column
+from repro.errors import DomainError, IndexBuildError
+from repro.vafile.quantizer import (
+    MISSING_CODE,
+    QuantileQuantizer,
+    UniformQuantizer,
+    default_bits,
+)
+
+
+class TestDefaultBits:
+    def test_paper_budget(self):
+        # b_i = ceil(lg(C_i + 1))
+        assert default_bits(1) == 1
+        assert default_bits(2) == 2  # lg 3
+        assert default_bits(5) == 3  # lg 6
+        assert default_bits(7) == 3
+        assert default_bits(100) == 7
+        assert default_bits(165) == 8
+
+
+class TestUniformQuantizer:
+    def test_paper_table_6_lookup(self):
+        # C=6, b=2: bins 01 -> 1-2, 10 -> 3-4, 11 -> 5-6.
+        quantizer = UniformQuantizer(6, bits=2)
+        assert quantizer.lookup_table() == [(1, 1, 2), (2, 3, 4), (3, 5, 6)]
+
+    def test_missing_code_is_all_zero_bits(self):
+        quantizer = UniformQuantizer(6, bits=2)
+        codes = quantizer.encode(np.array([0, 1, 6]))
+        assert codes[0] == MISSING_CODE == 0
+
+    @pytest.mark.parametrize("cardinality", range(1, 35))
+    @pytest.mark.parametrize("bits", [1, 2, 3, 5])
+    def test_encode_and_bin_range_are_consistent(self, cardinality, bits):
+        quantizer = UniformQuantizer(cardinality, bits)
+        for value in range(1, cardinality + 1):
+            code = quantizer.encode_value(value)
+            lo, hi = quantizer.bin_range(code)
+            assert lo <= value <= hi
+
+    @pytest.mark.parametrize("cardinality", [1, 5, 6, 17, 100])
+    def test_bins_partition_the_domain(self, cardinality):
+        quantizer = UniformQuantizer(cardinality, bits=3)
+        covered = []
+        for _, lo, hi in quantizer.lookup_table():
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1, cardinality + 1))
+
+    def test_encode_is_monotone(self):
+        quantizer = UniformQuantizer(37, bits=3)
+        codes = [quantizer.encode_value(v) for v in range(1, 38)]
+        assert codes == sorted(codes)
+
+    def test_default_bits_make_mapping_exact(self):
+        for cardinality in (1, 2, 6, 10, 100):
+            quantizer = UniformQuantizer(cardinality)
+            assert quantizer.is_exact()
+            codes = {quantizer.encode_value(v) for v in range(1, cardinality + 1)}
+            assert len(codes) == cardinality
+
+    def test_vectorized_encode_matches_scalar(self, rng):
+        quantizer = UniformQuantizer(20, bits=3)
+        values = rng.integers(0, 21, size=200)
+        codes = quantizer.encode(values)
+        for value, code in zip(values, codes):
+            if value == 0:
+                assert code == MISSING_CODE
+            else:
+                assert code == quantizer.encode_value(int(value))
+
+    def test_errors(self):
+        with pytest.raises(IndexBuildError):
+            UniformQuantizer(0)
+        with pytest.raises(IndexBuildError):
+            UniformQuantizer(5, bits=0)
+        quantizer = UniformQuantizer(5, bits=2)
+        with pytest.raises(DomainError):
+            quantizer.encode_value(6)
+        with pytest.raises(DomainError):
+            quantizer.bin_range(0)
+        with pytest.raises(DomainError):
+            quantizer.bin_range(4)
+
+
+class TestQuantileQuantizer:
+    @pytest.fixture
+    def skewed(self, rng):
+        return skewed_column(20_000, 100, 0.1, 1.3, rng)
+
+    def test_consistency(self, skewed):
+        quantizer = QuantileQuantizer(100, skewed, bits=4)
+        for value in range(1, 101):
+            code = quantizer.encode_value(value)
+            lo, hi = quantizer.bin_range(code)
+            assert lo <= value <= hi
+
+    def test_bins_partition_the_domain(self, skewed):
+        quantizer = QuantileQuantizer(100, skewed, bits=4)
+        covered = []
+        for _, lo, hi in quantizer.lookup_table():
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1, 101))
+
+    def test_bins_balance_record_counts_on_skewed_data(self, skewed, rng):
+        # The point of VA+: on skewed data, quantile bins hold far more even
+        # record counts than uniform bins.
+        uniform = UniformQuantizer(100, bits=3)
+        quantile = QuantileQuantizer(100, skewed, bits=3)
+        present = skewed[skewed != 0]
+
+        def imbalance(quantizer):
+            codes = quantizer.encode(present)
+            counts = np.bincount(codes)[1:]
+            counts = counts[counts > 0]
+            return counts.max() / max(1, counts.min())
+
+        assert imbalance(quantile) < imbalance(uniform)
+
+    def test_missing_passes_through(self, skewed):
+        quantizer = QuantileQuantizer(100, skewed, bits=4)
+        codes = quantizer.encode(np.array([0, 50]))
+        assert codes[0] == MISSING_CODE
+
+    def test_empty_data_falls_back_to_uniform(self):
+        quantizer = QuantileQuantizer(10, np.array([], dtype=np.int64), bits=2)
+        covered = []
+        for _, lo, hi in quantizer.lookup_table():
+            covered.extend(range(lo, hi + 1))
+        assert covered == list(range(1, 11))
+
+    def test_invalid_cardinality_rejected(self):
+        with pytest.raises(IndexBuildError):
+            QuantileQuantizer(0, np.array([1]))

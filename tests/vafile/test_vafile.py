@@ -1,0 +1,195 @@
+"""Unit tests for the VA-file with missing-data support."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.synthetic import generate_uniform_table
+from repro.dataset.table import IncompleteTable
+from repro.errors import DomainError, IndexBuildError, QueryError
+from repro.query.ground_truth import evaluate
+from repro.query.model import MissingSemantics, RangeQuery
+from repro.vafile.vafile import VAFile, VaQueryStats
+
+
+@pytest.fixture
+def paper_va_table():
+    """The 4-record cardinality-6 example of the paper's Tables 5-6."""
+    schema = Schema([AttributeSpec("v", 6)])
+    return IncompleteTable(schema, {"v": np.array([6, 1, 3, 0])})
+
+
+class TestPaperTables5And6:
+    def test_record_codes_match_table_5(self, paper_va_table):
+        # value 6 -> 11, 1 -> 01, 3 -> 10, missing -> 00.
+        va = VAFile(paper_va_table, bits={"v": 2})
+        assert va.codes("v").tolist() == [3, 1, 2, 0]
+
+    def test_lookup_table_matches_table_6(self, paper_va_table):
+        va = VAFile(paper_va_table, bits={"v": 2})
+        assert va.quantizer("v").lookup_table() == [
+            (1, 1, 2), (2, 3, 4), (3, 5, 6),
+        ]
+
+    def test_paper_query_narrative(self, paper_va_table):
+        # "return all records where value is 4 or 5": candidates are bins
+        # 10, 11 (plus 00 under missing-is-a-match); the filtering step then
+        # removes records 1 (value 6) and 3 (value 3).
+        va = VAFile(paper_va_table, bits={"v": 2})
+        query = RangeQuery.from_bounds({"v": (4, 5)})
+        stats = VaQueryStats()
+        candidates = va.candidate_mask(query, MissingSemantics.IS_MATCH, stats)
+        assert np.flatnonzero(candidates).tolist() == [0, 2, 3]
+        ids = va.execute_ids(query, MissingSemantics.IS_MATCH)
+        assert ids.tolist() == [3]  # only the missing record survives
+        # Without missing-as-match only bins 10 and 11 are candidates.
+        candidates = va.candidate_mask(query, MissingSemantics.NOT_MATCH)
+        assert np.flatnonzero(candidates).tolist() == [0, 2]
+        assert va.execute_ids(query, MissingSemantics.NOT_MATCH).tolist() == []
+
+
+class TestConstruction:
+    def test_default_covers_schema(self, small_table):
+        va = VAFile(small_table)
+        assert set(va.attributes) == {"low", "mid", "high"}
+        assert va.num_records == 1000
+
+    def test_default_bit_budget_is_papers(self, small_table):
+        va = VAFile(small_table)
+        assert va.bits("low") == 2    # ceil(lg 3)
+        assert va.bits("mid") == 4    # ceil(lg 11)
+        assert va.bits("high") == 7   # ceil(lg 101)
+
+    def test_empty_attribute_list_rejected(self, small_table):
+        with pytest.raises(IndexBuildError):
+            VAFile(small_table, [])
+
+    def test_unknown_quantization_rejected(self, small_table):
+        with pytest.raises(IndexBuildError):
+            VAFile(small_table, quantization="fancy")
+
+    def test_unknown_attribute_rejected(self, small_table):
+        va = VAFile(small_table, ["mid"])
+        with pytest.raises(QueryError):
+            va.codes("high")
+
+    def test_codes_are_readonly(self, small_table):
+        va = VAFile(small_table)
+        with pytest.raises(ValueError):
+            va.codes("mid")[0] = 9
+
+
+class TestSize:
+    def test_bit_packed_size(self, small_table):
+        va = VAFile(small_table)
+        n = 1000
+        approx = (n * 2 + 7) // 8 + (n * 4 + 7) // 8 + (n * 7 + 7) // 8
+        assert va.approximation_nbytes() == approx
+        assert va.nbytes() > approx  # plus lookup tables
+
+    def test_size_insensitive_to_missing_rate(self):
+        # Fig. 4(b): the VA-file's size is independent of missing data.
+        low = generate_uniform_table(5000, {"a": 50}, {"a": 0.1}, seed=1)
+        high = generate_uniform_table(5000, {"a": 50}, {"a": 0.5}, seed=1)
+        assert VAFile(low).nbytes() == VAFile(high).nbytes()
+
+    def test_size_grows_logarithmically_with_cardinality(self):
+        sizes = []
+        for cardinality in (2, 100):
+            table = generate_uniform_table(
+                5000, {"a": cardinality}, {"a": 0.1}, seed=2
+            )
+            sizes.append(VAFile(table).approximation_nbytes())
+        # b goes 2 -> 7 bits: size ratio must be ~3.5, not ~50.
+        assert sizes[1] / sizes[0] == pytest.approx(7 / 2, rel=0.05)
+
+
+class TestExecution:
+    def test_exact_with_default_bits(self, small_table, rng):
+        va = VAFile(small_table)
+        for _ in range(25):
+            bounds = {}
+            for name, cardinality in (("low", 2), ("mid", 10), ("high", 100)):
+                lo = int(rng.integers(1, cardinality + 1))
+                hi = int(rng.integers(lo, cardinality + 1))
+                bounds[name] = (lo, hi)
+            query = RangeQuery.from_bounds(bounds)
+            for semantics in MissingSemantics:
+                expect = evaluate(small_table, query, semantics)
+                assert np.array_equal(va.execute_ids(query, semantics), expect)
+
+    def test_exact_with_coarse_bits(self, small_table, rng):
+        va = VAFile(small_table, bits={"low": 1, "mid": 2, "high": 3})
+        for _ in range(25):
+            bounds = {}
+            for name, cardinality in (("low", 2), ("mid", 10), ("high", 100)):
+                lo = int(rng.integers(1, cardinality + 1))
+                hi = int(rng.integers(lo, cardinality + 1))
+                bounds[name] = (lo, hi)
+            query = RangeQuery.from_bounds(bounds)
+            for semantics in MissingSemantics:
+                expect = evaluate(small_table, query, semantics)
+                assert np.array_equal(va.execute_ids(query, semantics), expect)
+
+    def test_no_false_dismissals(self, small_table, rng):
+        # Phase 1 may overshoot but must never drop a true answer.
+        va = VAFile(small_table, bits={"mid": 2, "high": 3, "low": 1})
+        for _ in range(25):
+            lo = int(rng.integers(1, 101))
+            hi = int(rng.integers(lo, 101))
+            query = RangeQuery.from_bounds({"high": (lo, hi)})
+            for semantics in MissingSemantics:
+                truth = set(evaluate(small_table, query, semantics).tolist())
+                candidates = set(
+                    np.flatnonzero(va.candidate_mask(query, semantics)).tolist()
+                )
+                assert truth <= candidates
+
+    def test_refinement_not_needed_with_exact_bins(self, small_table):
+        va = VAFile(small_table)
+        stats = VaQueryStats()
+        va.execute_ids(
+            RangeQuery.from_bounds({"mid": (3, 7)}),
+            MissingSemantics.IS_MATCH,
+            stats,
+        )
+        assert stats.records_refined == 0
+
+    def test_stats_accounting(self, small_table):
+        va = VAFile(small_table, bits={"mid": 2})
+        stats = VaQueryStats()
+        va.execute_ids(
+            RangeQuery.from_bounds({"mid": (2, 5)}),
+            MissingSemantics.IS_MATCH,
+            stats,
+        )
+        assert stats.queries == 1
+        assert stats.codes_scanned == 1000
+        assert stats.candidates >= stats.records_refined
+
+    def test_stats_merge(self):
+        a = VaQueryStats(codes_scanned=10, candidates=5, records_refined=2, queries=1)
+        b = VaQueryStats(codes_scanned=20, candidates=1, records_refined=0, queries=1)
+        a.merge(b)
+        assert (a.codes_scanned, a.candidates, a.records_refined, a.queries) == (
+            30, 6, 2, 2,
+        )
+
+    def test_out_of_domain_rejected(self, small_table):
+        va = VAFile(small_table)
+        with pytest.raises(DomainError):
+            va.execute_ids(
+                RangeQuery.from_bounds({"mid": (5, 11)}),
+                MissingSemantics.IS_MATCH,
+            )
+
+    def test_vaplus_quantization_exact(self, small_table, rng):
+        va = VAFile(small_table, quantization="vaplus",
+                    bits={"low": 1, "mid": 2, "high": 4})
+        for _ in range(15):
+            lo = int(rng.integers(1, 101))
+            hi = int(rng.integers(lo, 101))
+            query = RangeQuery.from_bounds({"high": (lo, hi)})
+            for semantics in MissingSemantics:
+                expect = evaluate(small_table, query, semantics)
+                assert np.array_equal(va.execute_ids(query, semantics), expect)
