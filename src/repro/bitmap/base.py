@@ -23,7 +23,56 @@ import numpy as np
 from repro.bitvector.ops import OpCounter, big_and, make_bitvector
 from repro.dataset.table import IncompleteTable
 from repro.errors import DomainError, IndexBuildError, QueryError
+from repro.observability import enabled as _obs_enabled
+from repro.observability import record as _obs_record
+from repro.observability import trace_span as _trace_span
 from repro.query.model import Interval, MissingSemantics, RangeQuery
+
+#: Pre-built metric names so hot paths don't format strings per call.
+_MISSING_CONSULTED_METRIC = {
+    MissingSemantics.IS_MATCH: "bitmap.missing_consulted.is_match",
+    MissingSemantics.NOT_MATCH: "bitmap.missing_consulted.not_match",
+}
+
+
+def _counter_marks(counter: OpCounter) -> tuple[int, int, int, int]:
+    """A checkpoint of the tallies :func:`_record_counter_deltas` diffs."""
+    return (
+        counter.bitmaps_touched,
+        counter.binary_ops,
+        counter.not_ops,
+        counter.words_processed,
+    )
+
+
+def _record_counter_deltas(
+    counter: OpCounter, marks: tuple[int, int, int, int]
+) -> None:
+    """Record what ``counter`` accumulated since ``marks`` was taken."""
+    bitmaps, binary, nots, words = marks
+    if counter.bitmaps_touched != bitmaps:
+        _obs_record(
+            "bitmap.bitvectors_touched", counter.bitmaps_touched - bitmaps
+        )
+    if counter.binary_ops != binary:
+        _obs_record("bitmap.binary_ops", counter.binary_ops - binary)
+    if counter.not_ops != nots:
+        _obs_record("bitmap.not_ops", counter.not_ops - nots)
+    if counter.words_processed != words:
+        _obs_record(
+            "bitmap.words_processed", counter.words_processed - words
+        )
+
+
+def record_missing_consultation(semantics: MissingSemantics) -> None:
+    """Account one read of a missing bitmap ``B_{i,0}`` under ``semantics``.
+
+    Every encoding calls this at the point it fetches the stored missing
+    bitmap, so `bitmap.missing_consulted.*` counts exactly the consultations
+    each semantics required (synthesized constants don't count, mirroring
+    the cost model's treatment of dropped bitmaps).
+    """
+    _obs_record(_MISSING_CONSULTED_METRIC[semantics])
 
 
 @dataclass(frozen=True, slots=True)
@@ -230,13 +279,37 @@ class BitmapIndex(abc.ABC):
         "range queries are executed by first ORing together all bit vectors
         specified by each range in the search key and then ANDing the answers
         together".  Tombstoned (deleted) records are masked out last.
+
+        When observability is on (a real metrics registry or an active
+        trace), each interval evaluation runs inside its own span and its
+        bitvector/word tallies are recorded per dimension; otherwise this is
+        the plain uninstrumented path.
         """
-        partials = [
-            self.evaluate_interval(name, interval, semantics, counter)
-            for name, interval in query.items()
-        ]
-        result = big_and(partials, counter)
-        return self._mask_deleted(result, counter)
+        if not _obs_enabled():
+            partials = [
+                self.evaluate_interval(name, interval, semantics, counter)
+                for name, interval in query.items()
+            ]
+            result = big_and(partials, counter)
+            return self._mask_deleted(result, counter)
+        track = counter if counter is not None else OpCounter()
+        partials = []
+        for name, interval in query.items():
+            with _trace_span(
+                f"{self.encoding}.interval",
+                attribute=name, interval=str(interval),
+            ):
+                marks = _counter_marks(track)
+                partials.append(
+                    self.evaluate_interval(name, interval, semantics, track)
+                )
+                _record_counter_deltas(track, marks)
+        with _trace_span("bitmap.and", operands=len(partials)):
+            marks = _counter_marks(track)
+            result = big_and(partials, track)
+            result = self._mask_deleted(result, track)
+            _record_counter_deltas(track, marks)
+        return result
 
     def _mask_deleted(self, result, counter: OpCounter | None):
         if self._deleted is None:

@@ -38,7 +38,11 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.bitmap.base import BitmapIndex, constant_vector
+from repro.bitmap.base import (
+    BitmapIndex,
+    constant_vector,
+    record_missing_consultation,
+)
 from repro.bitvector.ops import OpCounter
 from repro.query.model import Interval, MissingSemantics
 
@@ -99,8 +103,9 @@ class BitSlicedIndex(BitmapIndex):
             counter.record_binary(less, equal)
         return result
 
-    def _missing(self, family, counter: OpCounter | None):
+    def _missing(self, family, semantics, counter: OpCounter | None):
         if family.has_missing:
+            record_missing_consultation(semantics)
             if counter is not None:
                 counter.bitmaps_touched += 1
             return family.bitmap(0)
@@ -123,7 +128,7 @@ class BitSlicedIndex(BitmapIndex):
         if v1 == 1:
             result = self._less_equal(family, v2, counter)
             if not is_match:
-                missing = self._missing(family, counter)
+                missing = self._missing(family, semantics, counter)
                 if missing is not None:
                     if counter is not None:
                         counter.record_binary(result, missing)
@@ -134,7 +139,7 @@ class BitSlicedIndex(BitmapIndex):
                 counter.record_not(below)
             result = ~below
             if is_match:
-                missing = self._missing(family, counter)
+                missing = self._missing(family, semantics, counter)
                 if missing is not None:
                     if counter is not None:
                         counter.record_binary(result, missing)
@@ -146,7 +151,7 @@ class BitSlicedIndex(BitmapIndex):
                 counter.record_binary(high, low)
             result = high ^ low
             if is_match:
-                missing = self._missing(family, counter)
+                missing = self._missing(family, semantics, counter)
                 if missing is not None:
                     if counter is not None:
                         counter.record_binary(result, missing)
@@ -160,6 +165,9 @@ class BitSlicedIndex(BitmapIndex):
         semantics: MissingSemantics,
     ) -> int:
         """Number of stored bitvector reads for one interval."""
+        from repro.observability import suppressed
+
         counter = OpCounter()
-        self.evaluate_interval(attribute, interval, semantics, counter)
+        with suppressed():
+            self.evaluate_interval(attribute, interval, semantics, counter)
         return counter.bitmaps_touched

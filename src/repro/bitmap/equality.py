@@ -33,7 +33,11 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.bitmap.base import BitmapIndex, constant_vector
+from repro.bitmap.base import (
+    BitmapIndex,
+    constant_vector,
+    record_missing_consultation,
+)
 from repro.bitvector.ops import OpCounter, big_or
 from repro.query.model import Interval, MissingSemantics
 
@@ -68,11 +72,13 @@ class EqualityEncodedBitmapIndex(BitmapIndex):
         if direct:
             operands = [family.bitmap(j) for j in range(v1, v2 + 1)]
             if semantics is MissingSemantics.IS_MATCH and family.has_missing:
+                record_missing_consultation(semantics)
                 operands.append(family.bitmap(0))
             result = big_or(operands, counter)
         else:
             outside = self._outside_bitmaps(family, v1, v2)
             if semantics is MissingSemantics.NOT_MATCH and family.has_missing:
+                record_missing_consultation(semantics)
                 outside.append(family.bitmap(0))
             if outside:
                 unioned = big_or(outside, counter)

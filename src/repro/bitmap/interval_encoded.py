@@ -41,7 +41,11 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.bitmap.base import BitmapIndex, constant_vector
+from repro.bitmap.base import (
+    BitmapIndex,
+    constant_vector,
+    record_missing_consultation,
+)
 from repro.bitvector.ops import OpCounter
 from repro.query.model import Interval, MissingSemantics
 
@@ -88,12 +92,14 @@ class IntervalEncodedBitmapIndex(BitmapIndex):
             semantics is MissingSemantics.IS_MATCH and family.has_missing
         )
         if wants_missing and not includes_missing:
+            record_missing_consultation(semantics)
             missing = family.bitmap(0)
             if counter is not None:
                 counter.bitmaps_touched += 1
                 counter.record_binary(result, missing)
             result = result | missing
         elif includes_missing and not wants_missing and family.has_missing:
+            record_missing_consultation(semantics)
             missing = family.bitmap(0)
             if counter is not None:
                 counter.bitmaps_touched += 1
@@ -165,6 +171,9 @@ class IntervalEncodedBitmapIndex(BitmapIndex):
         semantics: MissingSemantics,
     ) -> int:
         """Number of stored bitvectors :meth:`evaluate_interval` will read."""
+        from repro.observability import suppressed
+
         counter = OpCounter()
-        self.evaluate_interval(attribute, interval, semantics, counter)
+        with suppressed():
+            self.evaluate_interval(attribute, interval, semantics, counter)
         return counter.bitmaps_touched

@@ -33,7 +33,11 @@ from typing import Iterator
 
 import numpy as np
 
-from repro.bitmap.base import BitmapIndex, constant_vector
+from repro.bitmap.base import (
+    BitmapIndex,
+    constant_vector,
+    record_missing_consultation,
+)
 from repro.bitvector.ops import OpCounter
 from repro.query.model import Interval, MissingSemantics
 
@@ -62,9 +66,10 @@ class RangeEncodedBitmapIndex(BitmapIndex):
             counter.bitmaps_touched += 1
         return vec
 
-    def _missing(self, family, counter: OpCounter | None):
+    def _missing(self, family, semantics, counter: OpCounter | None):
         """``B_{i,0}``, or an all-zero constant when nothing is missing."""
         if family.has_missing:
+            record_missing_consultation(semantics)
             if counter is not None:
                 counter.bitmaps_touched += 1
             return family.bitmap(0)
@@ -89,7 +94,7 @@ class RangeEncodedBitmapIndex(BitmapIndex):
             # and (because missing is the smallest value) the missing records.
             result = self._cumulative(family, v2, counter)
             if not is_match:
-                missing = self._missing(family, counter)
+                missing = self._missing(family, semantics, counter)
                 if missing is not None:
                     if counter is not None:
                         counter.record_binary(result, missing)
@@ -103,7 +108,7 @@ class RangeEncodedBitmapIndex(BitmapIndex):
                 counter.record_not(below)
             result = ~below
             if is_match:
-                missing = self._missing(family, counter)
+                missing = self._missing(family, semantics, counter)
                 if missing is not None:
                     if counter is not None:
                         counter.record_binary(result, missing)
@@ -117,7 +122,7 @@ class RangeEncodedBitmapIndex(BitmapIndex):
                 counter.record_binary(high, low)
             result = high ^ low
             if is_match:
-                missing = self._missing(family, counter)
+                missing = self._missing(family, semantics, counter)
                 if missing is not None:
                     if counter is not None:
                         counter.record_binary(result, missing)

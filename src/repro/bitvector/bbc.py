@@ -23,6 +23,8 @@ import numpy as np
 
 from repro.bitvector.bitvector import BitVector
 from repro.errors import CorruptIndexError, ReproError
+from repro.observability import enabled as _obs_enabled
+from repro.observability import record as _obs_record
 
 _FILL_FLAG = 0x80
 _FILL_BIT = 0x40
@@ -50,6 +52,8 @@ class BbcBitVector:
         out = bytearray()
         n = len(raw)
         i = 0
+        fill_tokens = 0
+        literal_tokens = 0
         while i < n:
             byte = raw[i]
             if byte in (0x00, 0xFF):
@@ -61,6 +65,7 @@ class BbcBitVector:
                 while run > 0:
                     take = min(run, _MAX_FILL_RUN)
                     out.append(flag | take)
+                    fill_tokens += 1
                     run -= take
                 i = j
             else:
@@ -73,9 +78,14 @@ class BbcBitVector:
                     take = min(run, _MAX_LITERAL_RUN)
                     out.append(take)
                     out.extend(raw[start : start + take].tobytes())
+                    literal_tokens += 1
                     start += take
                     run -= take
                 i = j
+        if _obs_enabled():
+            _obs_record("bbc.bytes_encoded", n)
+            _obs_record("bbc.fill_tokens", fill_tokens)
+            _obs_record("bbc.literal_tokens", literal_tokens)
         return cls(vec.nbits, bytes(out))
 
     @classmethod
@@ -107,9 +117,11 @@ class BbcBitVector:
         raw = bytearray()
         data = self._data
         i = 0
+        tokens = 0
         while i < len(data):
             control = data[i]
             i += 1
+            tokens += 1
             if control & _FILL_FLAG:
                 run = control & _MAX_FILL_RUN
                 if run == 0:
@@ -124,6 +136,9 @@ class BbcBitVector:
             raise CorruptIndexError(
                 f"BBC stream decoded to {len(raw)} bytes, expected {expected_bytes}"
             )
+        if _obs_enabled():
+            _obs_record("bbc.tokens_decoded", tokens)
+            _obs_record("bbc.bytes_decoded", len(raw))
         bits = np.unpackbits(np.frombuffer(bytes(raw), dtype=np.uint8),
                              bitorder="little")
         return BitVector.from_bools(bits[: self._nbits].astype(bool))
@@ -141,6 +156,7 @@ class BbcBitVector:
     def _binary_op(self, other: "BbcBitVector", name: str) -> "BbcBitVector":
         if not isinstance(other, BbcBitVector):
             raise TypeError(f"expected BbcBitVector, got {type(other).__name__}")
+        _obs_record("bbc.ops")
         left = self.decompress()
         right = other.decompress()
         result = getattr(left, name)(right)

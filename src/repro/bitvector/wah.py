@@ -24,6 +24,8 @@ import numpy as np
 
 from repro.bitvector.bitvector import BitVector
 from repro.errors import CorruptIndexError, ReproError
+from repro.observability import enabled as _obs_enabled
+from repro.observability import record as _obs_record
 
 #: Bits per WAH word.
 WORD_BITS = 32
@@ -39,6 +41,31 @@ FILL_BIT_FLAG = 1 << (WORD_BITS - 2)
 MAX_FILL_GROUPS = FILL_BIT_FLAG - 1
 
 _ALL_ONES_GROUP = LITERAL_MASK
+
+
+def _fill_words_in(words: list[int]) -> int:
+    """Number of fill words in a WAH word stream."""
+    return sum(1 for word in words if word & FILL_FLAG)
+
+
+def _record_op_metrics(
+    operands: list["WahBitVector"], result: "WahBitVector", ops: int = 1
+) -> None:
+    """Account one compressed-domain logical operation's decode/emit work.
+
+    Counts are derived from the operand word streams themselves, so they
+    are identical whichever execution path (run-pair loop or group-array
+    fast path) produced the result.  Callers gate on ``enabled()`` — the
+    fill/literal breakdown is a full pass over the operand words, which the
+    null-registry fast path must not pay.
+    """
+    decoded = sum(len(op._words) for op in operands)
+    fills = sum(_fill_words_in(op._words) for op in operands)
+    _obs_record("wah.ops", ops)
+    _obs_record("wah.words_decoded", decoded)
+    _obs_record("wah.fill_words", fills)
+    _obs_record("wah.literal_words", decoded - fills)
+    _obs_record("wah.words_emitted", len(result._words))
 
 
 class _Builder:
@@ -348,7 +375,10 @@ class WahBitVector:
         # The result is identical (group-array re-encoding is canonical).
         if len(self._words) + len(other._words) > self.ngroups // 4:
             merged = ufunc(self._group_array(), other._group_array())
-            return WahBitVector._from_group_array(self._nbits, merged)
+            result = WahBitVector._from_group_array(self._nbits, merged)
+            if _obs_enabled():
+                _record_op_metrics([self, other], result)
+            return result
         left = _RunReader(self._words)
         right = _RunReader(other._words)
         builder = _Builder()
@@ -378,7 +408,10 @@ class WahBitVector:
             left.consume(take)
             right.consume(take)
             remaining -= take
-        return WahBitVector(self._nbits, builder.words)
+        result = WahBitVector(self._nbits, builder.words)
+        if _obs_enabled():
+            _record_op_metrics([self, other], result)
+        return result
 
     @classmethod
     def or_many(cls, operands: list["WahBitVector"]) -> "WahBitVector":
@@ -404,7 +437,10 @@ class WahBitVector:
         acc = first._group_array().copy()
         for other in operands[1:]:
             np.bitwise_or(acc, other._group_array(), out=acc)
-        return cls._from_group_array(first._nbits, acc)
+        result = cls._from_group_array(first._nbits, acc)
+        if _obs_enabled():
+            _record_op_metrics(operands, result, ops=len(operands) - 1)
+        return result
 
     def __and__(self, other: "WahBitVector") -> "WahBitVector":
         return self._binary_op(other, lambda a, b: a & b, np.bitwise_and)

@@ -13,20 +13,25 @@ and the work done per query, which is what the paper studies.
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Mapping
 
 import numpy as np
 
+from repro import observability as obs
 from repro.baselines.bitstring import BitstringAugmentedIndex
 from repro.baselines.gridfile import GridFileIndex
 from repro.baselines.mosaic import MosaicIndex
 from repro.baselines.sentinel_rtree import SentinelRTreeIndex
 from repro.baselines.seqscan import SequentialScan
+from repro.bitmap.base import BitmapIndex
 from repro.bitmap.bitsliced import BitSlicedIndex
 from repro.bitmap.equality import EqualityEncodedBitmapIndex
 from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
 from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.bitvector.ops import OpCounter
 from repro.dataset.table import IncompleteTable
 from repro.errors import QueryError, ReproError
 from repro.query.model import MissingSemantics, RangeQuery
@@ -91,6 +96,10 @@ class QueryReport:
     index_name: str
     kind: str
     record_ids: np.ndarray = field(repr=False)
+    #: Span tree populated when the query ran with ``trace=True``.
+    trace: obs.QueryTrace | None = field(default=None, repr=False)
+    #: Wall-clock execution time (planning excluded); None for legacy paths.
+    elapsed_ns: int | None = None
 
     @property
     def num_matches(self) -> int:
@@ -112,6 +121,7 @@ class IncompleteDatabase:
         self._indexes: dict[str, AttachedIndex] = {}
         self._scan = SequentialScan(table)
         self._statistics = None
+        self._query_counts: dict[str, int] = {}
 
     @property
     def statistics(self):
@@ -205,23 +215,34 @@ class IncompleteDatabase:
         is costable, the paper-informed preference order
         BRE > BIE > BEE > VA-file > MOSAIC > R-tree > bitstring decides.
         """
+        return self._plan(query, semantics)[0]
+
+    def _plan(self, query: RangeQuery, semantics: MissingSemantics):
+        """The chosen index plus every costable plan, cheapest first."""
         from repro.core.planner import rank_plans
 
         covering = [ix for ix in self._indexes.values() if ix.covers(query)]
         if not covering:
-            return None
+            return None, []
         plans = rank_plans(covering, query, semantics)
         if plans:
-            return self._indexes[plans[0].index_name]
+            return self._indexes[plans[0].index_name], plans
         rank = {kind: pos for pos, kind in enumerate(_PREFERENCE)}
-        return min(covering, key=lambda ix: rank.get(ix.kind, len(rank)))
+        return min(covering, key=lambda ix: rank.get(ix.kind, len(rank))), []
 
     def explain(
         self,
         query: RangeQuery,
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        analyze: bool = False,
     ) -> str:
-        """Human-readable plan description for a query, with costs."""
+        """Human-readable plan description for a query, with costs.
+
+        With ``analyze=True`` the query is actually executed (with tracing
+        on) and the rendered span tree — timings plus the counters each
+        access method recorded — is appended to the plan, in the spirit of
+        ``EXPLAIN ANALYZE``.
+        """
         from repro.core.planner import rank_plans
 
         chosen = self.choose_index(query, semantics)
@@ -232,31 +253,36 @@ class IncompleteDatabase:
         ]
         if chosen is None:
             lines.append("plan: sequential scan (no covering index)")
-            return "\n".join(lines)
-        lines.append(f"plan: index {chosen.name!r} ({chosen.kind})")
-        if chosen.kind in ("bee", "bre", "bie", "bsl"):
-            total = sum(
-                chosen.index.bitmaps_for_interval(name, interval, semantics)
-                for name, interval in query.items()
-            )
-            lines.append(f"bitvectors used: {total}")
-        covering = [ix for ix in self._indexes.values() if ix.covers(query)]
-        plans = rank_plans(covering, query, semantics)
-        for plan in plans:
-            marker = "->" if plan.index_name == chosen.name else "  "
-            lines.append(
-                f"{marker} {plan.index_name} ({plan.kind}): "
-                f"~{plan.items:,.0f} items ({plan.detail})"
-            )
+        else:
+            lines.append(f"plan: index {chosen.name!r} ({chosen.kind})")
+            if chosen.kind in ("bee", "bre", "bie", "bsl"):
+                total = sum(
+                    chosen.index.bitmaps_for_interval(name, interval, semantics)
+                    for name, interval in query.items()
+                )
+                lines.append(f"bitvectors used: {total}")
+            covering = [ix for ix in self._indexes.values() if ix.covers(query)]
+            plans = rank_plans(covering, query, semantics)
+            for plan in plans:
+                marker = "->" if plan.index_name == chosen.name else "  "
+                lines.append(
+                    f"{marker} {plan.index_name} ({plan.kind}): "
+                    f"~{plan.items:,.0f} items ({plan.detail})"
+                )
+        if analyze:
+            report = self.execute(query, semantics, trace=True)
+            lines.append("")
+            lines.append(report.trace.format())
         return "\n".join(lines)
 
     # -- execution -----------------------------------------------------------
 
-    def query(
+    def execute(
         self,
         query: RangeQuery | Mapping[str, tuple[int, int]],
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         using: str | None = None,
+        trace: bool = False,
     ) -> QueryReport:
         """Execute a query and report which access method served it.
 
@@ -269,23 +295,105 @@ class IncompleteDatabase:
         using:
             Force a specific attached index by name; defaults to automatic
             selection with sequential-scan fallback.
+        trace:
+            Build a :class:`~repro.observability.QueryTrace` span tree while
+            executing and return it on the report.  Tracing never changes
+            the result set (the property-test suite holds us to that); it
+            adds per-span timings and the cost-model counters the access
+            methods record (see ``docs/observability.md``).
         """
         if not isinstance(query, RangeQuery):
             query = RangeQuery.from_bounds(query)
-        if using is not None:
-            chosen = self.get_index(using)
-            if not chosen.covers(query):
-                raise QueryError(
-                    f"index {using!r} does not cover attributes "
-                    f"{sorted(set(query.attributes) - set(chosen.attributes))}"
-                )
-        else:
-            chosen = self.choose_index(query, semantics)
-        if chosen is None:
-            ids = self._scan.execute_ids(query, semantics)
-            return QueryReport(index_name="<scan>", kind="scan", record_ids=ids)
-        ids = np.asarray(chosen.index.execute_ids(query, semantics))
-        return QueryReport(index_name=chosen.name, kind=chosen.kind, record_ids=ids)
+        qtrace = (
+            obs.QueryTrace(
+                "query", query=repr(query), semantics=semantics.value
+            )
+            if trace
+            else None
+        )
+        context = obs.activate(qtrace) if qtrace is not None else nullcontext()
+        with context:
+            observing = obs.enabled()
+            with obs.trace_span("plan") as plan_span:
+                estimate = None
+                if using is not None:
+                    chosen = self.get_index(using)
+                    if not chosen.covers(query):
+                        raise QueryError(
+                            f"index {using!r} does not cover attributes "
+                            f"{sorted(set(query.attributes) - set(chosen.attributes))}"
+                        )
+                    forced = True
+                else:
+                    chosen, plans = self._plan(query, semantics)
+                    forced = False
+                    if chosen is not None:
+                        estimate = next(
+                            (p for p in plans if p.index_name == chosen.name),
+                            None,
+                        )
+                if plan_span is not None:
+                    plan_span.set(
+                        "chosen", chosen.name if chosen else "<scan>"
+                    )
+                    plan_span.set("forced", forced)
+                    if estimate is not None:
+                        plan_span.set(
+                            "estimated_items", round(estimate.items)
+                        )
+            name = chosen.name if chosen is not None else "<scan>"
+            kind = chosen.kind if chosen is not None else "scan"
+            track = None
+            start = time.perf_counter_ns()
+            if chosen is None:
+                with obs.trace_span("execute.scan"):
+                    ids = self._scan.execute_ids(query, semantics)
+            else:
+                with obs.trace_span(f"execute.{kind}", index=name):
+                    index = chosen.index
+                    if observing and isinstance(index, (BitmapIndex, VAFile)):
+                        track = OpCounter()
+                        ids = np.asarray(
+                            index.execute_ids(query, semantics, counter=track)
+                        )
+                    else:
+                        ids = np.asarray(index.execute_ids(query, semantics))
+            elapsed_ns = time.perf_counter_ns() - start
+            self._query_counts[name] = self._query_counts.get(name, 0) + 1
+            if observing:
+                obs.record("engine.queries")
+                obs.record(f"engine.queries.{kind}")
+                obs.observe(f"engine.query_ns.{kind}", elapsed_ns)
+                obs.record(f"planner.plan_chosen.{kind}")
+                if estimate is not None and track is not None:
+                    obs.record(
+                        "planner.estimated_items", round(estimate.items)
+                    )
+                    obs.record(
+                        "planner.actual_items", track.words_processed
+                    )
+        if qtrace is not None:
+            qtrace.root.set("index", name)
+            qtrace.root.set("matches", len(ids))
+            if track is not None:
+                qtrace.root.set("actual_items", track.words_processed)
+            qtrace.close()
+        return QueryReport(
+            index_name=name,
+            kind=kind,
+            record_ids=ids,
+            trace=qtrace,
+            elapsed_ns=elapsed_ns,
+        )
+
+    def query(
+        self,
+        query: RangeQuery | Mapping[str, tuple[int, int]],
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> QueryReport:
+        """Alias of :meth:`execute` without tracing (kept for callers)."""
+        return self.execute(query, semantics, using)
 
     def count(
         self,
@@ -349,3 +457,37 @@ class IncompleteDatabase:
         """Materialize the matching rows as a new table."""
         report = self.query(query, semantics, using)
         return self._table.take(report.record_ids)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __repr__(self) -> str:
+        kinds = ", ".join(
+            f"{ix.name}:{ix.kind}" for ix in self._indexes.values()
+        )
+        return (
+            f"IncompleteDatabase(records={self._table.num_records}, "
+            f"attributes={len(self._table.schema.names)}, "
+            f"indexes=[{kinds}])"
+        )
+
+    def summary(self) -> str:
+        """Multi-line overview: table shape, attached indexes, query counts."""
+        lines = [
+            f"IncompleteDatabase: {self._table.num_records} records, "
+            f"{len(self._table.schema.names)} attributes",
+        ]
+        if not self._indexes:
+            lines.append("  indexes: (none; queries fall back to scan)")
+        else:
+            lines.append("  indexes:")
+            for ix in self._indexes.values():
+                served = self._query_counts.get(ix.name, 0)
+                attrs = ", ".join(ix.attributes)
+                lines.append(
+                    f"    {ix.name} ({ix.kind}) on [{attrs}] — "
+                    f"{served} quer{'y' if served == 1 else 'ies'} served"
+                )
+        scans = self._query_counts.get("<scan>", 0)
+        if scans:
+            lines.append(f"  sequential scans: {scans}")
+        return "\n".join(lines)

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bitmap.base import BitmapIndex
+from repro.observability import enabled as _obs_enabled
+from repro.observability import record as _obs_record
 from repro.query.model import MissingSemantics, RangeQuery
 from repro.vafile.vafile import VAFile
 
@@ -107,4 +109,7 @@ def rank_plans(
         if estimate is not None:
             estimates.append(estimate)
     estimates.sort(key=lambda e: e.items)
+    if _obs_enabled():
+        _obs_record("planner.rankings")
+        _obs_record("planner.plans_costed", len(estimates))
     return estimates

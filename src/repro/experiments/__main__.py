@@ -74,6 +74,11 @@ def main(argv: list[str] | None = None) -> int:
         "--output", metavar="FILE",
         help="also write the results as a Markdown report",
     )
+    parser.add_argument(
+        "--metrics", action="store_true",
+        help="run each experiment under a metrics registry and print the "
+             "counter/histogram table after its results",
+    )
     args = parser.parse_args(argv)
 
     experiments = _experiments(_SCALES[args.scale])
@@ -90,11 +95,23 @@ def main(argv: list[str] | None = None) -> int:
     results = []
     for name in selected:
         start = time.perf_counter()
-        result = experiments[name]()
+        if args.metrics:
+            from repro.observability import render_table, use_registry
+
+            with use_registry() as registry:
+                result = experiments[name]()
+            snapshot = registry.snapshot()
+        else:
+            result = experiments[name]()
+            snapshot = None
         elapsed = time.perf_counter() - start
         results.append(result)
         print()
         print(result.format())
+        if snapshot is not None:
+            print()
+            print(f"metrics for {name}:")
+            print(render_table(snapshot))
         print(f"[{name} completed in {elapsed:.1f}s]")
     if args.output:
         from repro.experiments.report import write_report

@@ -13,18 +13,48 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
+from repro.observability import MetricsRegistry, MetricsSnapshot, use_registry
 from repro.query.model import MissingSemantics, RangeQuery
 
 
 def time_queries(
     execute: Callable[[RangeQuery], object],
     queries: Sequence[RangeQuery],
+    repeats: int = 1,
 ) -> float:
-    """Wall-clock milliseconds to run all ``queries`` through ``execute``."""
-    start = time.perf_counter()
-    for query in queries:
-        execute(query)
-    return (time.perf_counter() - start) * 1000.0
+    """Wall-clock milliseconds to run all ``queries`` through ``execute``.
+
+    With ``repeats > 1`` the whole batch runs that many times and the best
+    (minimum) pass is reported, which filters out scheduler noise and cache
+    warm-up — the usual best-of-N benchmarking discipline.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    best_ns: int | None = None
+    for _ in range(repeats):
+        start = time.perf_counter_ns()
+        for query in queries:
+            execute(query)
+        elapsed = time.perf_counter_ns() - start
+        if best_ns is None or elapsed < best_ns:
+            best_ns = elapsed
+    return best_ns / 1e6
+
+
+def metered(run: Callable[[], object]) -> tuple[object, MetricsSnapshot]:
+    """Run ``run`` under a fresh metrics registry; return (result, snapshot).
+
+    This is how experiment drivers put observability counters into
+    :class:`ExperimentResult` rows: run the workload metered, then pull the
+    counters of interest off the snapshot as extra columns::
+
+        ids, metrics = metered(lambda: index.execute_ids(query, semantics))
+        result.add_row(x, ms, metrics.counters.get("wah.words_decoded", 0))
+    """
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        value = run()
+    return value, registry.snapshot()
 
 
 @dataclass

@@ -1,0 +1,79 @@
+"""Query-path observability: metrics registry, per-query traces, exporters.
+
+The paper's evaluation argues from operation-level accounting — words
+scanned by WAH ops, bitvectors touched per query dimension, VA-file
+candidates vs. records refined — and this package makes those quantities
+first-class at runtime:
+
+* :mod:`repro.observability.metrics` — a process-wide but swappable
+  :class:`MetricsRegistry` (counters, gauges, ns histograms) whose default
+  is a no-op :class:`NullRegistry`, so instrumentation can stay on in hot
+  loops;
+* :mod:`repro.observability.trace` — opt-in :class:`QueryTrace` span trees
+  populated by ``IncompleteDatabase.execute(query, trace=True)`` and
+  rendered by ``explain(..., analyze=True)``;
+* :mod:`repro.observability.export` — text table, JSON lines, and
+  Prometheus renderings of any registry snapshot.
+
+The metric names and span naming scheme are documented in
+``docs/observability.md``; ``docs/cost-model.md`` maps each cost-model term
+to the counter that measures it.
+"""
+
+from repro.observability.export import (
+    render_jsonl,
+    render_prometheus,
+    render_table,
+)
+from repro.observability.metrics import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NullRegistry,
+    enabled,
+    get_registry,
+    observe,
+    record,
+    set_registry,
+    suppressed,
+    use_registry,
+)
+from repro.observability.trace import (
+    QueryTrace,
+    Span,
+    activate,
+    current_span,
+    current_trace,
+    trace_span,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "QueryTrace",
+    "Span",
+    "activate",
+    "current_span",
+    "current_trace",
+    "enabled",
+    "get_registry",
+    "observe",
+    "record",
+    "render_jsonl",
+    "render_prometheus",
+    "render_table",
+    "set_registry",
+    "suppressed",
+    "trace_span",
+    "use_registry",
+]

@@ -1,0 +1,127 @@
+"""Exporters rendering a :class:`MetricsSnapshot` for humans and scrapers.
+
+Three formats, all pure functions over an immutable snapshot (or anything
+with a ``snapshot()`` method, e.g. a live registry):
+
+* :func:`render_table` — aligned text for terminals and experiment logs;
+* :func:`render_jsonl` — one JSON object per instrument, for ingestion;
+* :func:`render_prometheus` — Prometheus text exposition format (dots in
+  metric names become underscores; histograms export as summaries).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability.metrics import MetricsSnapshot
+
+__all__ = ["render_table", "render_jsonl", "render_prometheus"]
+
+
+def _snapshot_of(source) -> MetricsSnapshot:
+    if isinstance(source, MetricsSnapshot):
+        return source
+    return source.snapshot()
+
+
+def render_table(source) -> str:
+    """Aligned three-column text table: metric, type, value."""
+    snapshot = _snapshot_of(source)
+    rows: list[tuple[str, str, str]] = []
+    for name, value in snapshot.counters.items():
+        rows.append((name, "counter", f"{value:,}"))
+    for name, value in snapshot.gauges.items():
+        rows.append((name, "gauge", f"{value:g}"))
+    for name, hist in snapshot.histograms.items():
+        rows.append((
+            name,
+            "histogram",
+            (
+                f"count={hist.count:,} mean={hist.mean:,.0f} "
+                f"min={hist.min:,.0f} max={hist.max:,.0f} "
+                f"p50~{hist.p50:,.0f} p99~{hist.p99:,.0f}"
+            ),
+        ))
+    if not rows:
+        return "(no metrics recorded)"
+    headers = ("metric", "type", "value")
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) for i in range(3)
+    ]
+    lines = [
+        "  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rows:
+        lines.append(
+            "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_jsonl(source) -> str:
+    """One JSON object per line per instrument (``name``, ``type``, values)."""
+    snapshot = _snapshot_of(source)
+    lines = []
+    for name, value in snapshot.counters.items():
+        lines.append(json.dumps(
+            {"name": name, "type": "counter", "value": value},
+            sort_keys=True,
+        ))
+    for name, value in snapshot.gauges.items():
+        lines.append(json.dumps(
+            {"name": name, "type": "gauge", "value": value},
+            sort_keys=True,
+        ))
+    for name, hist in snapshot.histograms.items():
+        lines.append(json.dumps(
+            {
+                "name": name,
+                "type": "histogram",
+                "count": hist.count,
+                "sum": hist.total,
+                "min": hist.min,
+                "max": hist.max,
+                "mean": hist.mean,
+                "p50": hist.p50,
+                "p99": hist.p99,
+            },
+            sort_keys=True,
+        ))
+    return "\n".join(lines)
+
+
+def _prom_name(name: str) -> str:
+    """A valid Prometheus metric name: ``[a-zA-Z_:][a-zA-Z0-9_:]*``."""
+    sanitized = "".join(
+        ch if ch.isalnum() or ch in "_:" else "_" for ch in name
+    )
+    if not sanitized or not (sanitized[0].isalpha() or sanitized[0] in "_:"):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def render_prometheus(source, prefix: str = "repro") -> str:
+    """Prometheus text exposition format (version 0.0.4).
+
+    Counters get a ``_total`` suffix per convention; histograms export as
+    summaries with bucket-estimated 0.5/0.99 quantiles.
+    """
+    snapshot = _snapshot_of(source)
+    lines: list[str] = []
+    for name, value in snapshot.counters.items():
+        metric = f"{prefix}_{_prom_name(name)}_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, value in snapshot.gauges.items():
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {value}")
+    for name, hist in snapshot.histograms.items():
+        metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {metric} summary")
+        lines.append(f'{metric}{{quantile="0.5"}} {hist.p50}')
+        lines.append(f'{metric}{{quantile="0.99"}} {hist.p99}')
+        lines.append(f"{metric}_sum {hist.total}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + ("\n" if lines else "")

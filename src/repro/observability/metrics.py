@@ -1,0 +1,398 @@
+"""Process-wide, swappable metrics registry.
+
+Instrumented code accounts its work through a :class:`MetricsRegistry`:
+counters for monotonically growing tallies (words decoded, bitvectors
+touched), gauges for point-in-time values, and power-of-two-bucketed
+histograms for ns-resolution latencies.  The default registry is a
+:class:`NullRegistry` whose instruments are shared no-ops, so the hot paths
+(WAH word loops, VA-file scans) stay at their uninstrumented cost until an
+operator installs a real registry with :func:`set_registry` or
+:func:`use_registry`.
+
+Everything on the fast path is plain-int arithmetic on instance slots — no
+locks (CPython's per-opcode atomicity is enough for single-process use, and
+the experiment harness is single-threaded) and no allocation after an
+instrument's first use.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.observability.trace import current_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "suppressed",
+    "enabled",
+    "get_registry",
+    "record",
+    "observe",
+    "set_registry",
+    "use_registry",
+]
+
+
+class Counter:
+    """A monotonically increasing tally."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Replace the current value."""
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Adjust the current value upward."""
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        """Adjust the current value downward."""
+        self.value -= amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+#: Number of power-of-two histogram buckets: bucket ``i`` holds values whose
+#: bit length is ``i``, i.e. the range ``[2**(i-1), 2**i)``; bucket 0 holds 0.
+_NBUCKETS = 64
+
+
+class Histogram:
+    """A power-of-two-bucketed histogram for ns-scale measurements.
+
+    Buckets are exponential (value ``v`` lands in bucket ``v.bit_length()``),
+    which keeps :meth:`observe` at two int ops and one list write while still
+    supporting useful quantile estimates over nine decades of nanoseconds.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0
+        self.min: int | float | None = None
+        self.max: int | float | None = None
+        self.buckets = [0] * _NBUCKETS
+
+    def observe(self, value: int | float) -> None:
+        """Record one measurement (negative values clamp to bucket 0)."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        index = int(value).bit_length() if value > 0 else 0
+        self.buckets[min(index, _NBUCKETS - 1)] += 1
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        """Observe the wall-clock nanoseconds of the ``with`` body."""
+        start = time.perf_counter_ns()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter_ns() - start)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of observations (0.0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self.total / self.count
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bucket bound)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, n in enumerate(self.buckets):
+            seen += n
+            if seen >= target:
+                return float(2**index - 1) if index else 0.0
+        return float(self.max if self.max is not None else 0.0)
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name!r}, count={self.count}, "
+            f"mean={self.mean:.1f})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class HistogramSnapshot:
+    """Immutable summary of one histogram at snapshot time."""
+
+    count: int
+    total: float
+    min: float
+    max: float
+    mean: float
+    p50: float
+    p99: float
+
+
+@dataclass(frozen=True, slots=True)
+class MetricsSnapshot:
+    """Immutable view of a registry's instruments at one moment."""
+
+    counters: Mapping[str, int | float]
+    gauges: Mapping[str, float]
+    histograms: Mapping[str, HistogramSnapshot]
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.histograms)
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges, and histograms.
+
+    Instruments are created on first use and live for the registry's
+    lifetime, so call sites can re-fetch by name without allocation churn.
+    Metric names are dot-separated paths (``wah.words_decoded``,
+    ``engine.query_ns.bre``); exporters map them to their format's
+    conventions (see :mod:`repro.observability.export`).
+    """
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter with this name, created on first use."""
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge with this name, created on first use."""
+        gauge = self._gauges.get(name)
+        if gauge is None:
+            gauge = self._gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram with this name, created on first use."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def timer(self, name: str):
+        """Context manager timing the ``with`` body into a histogram."""
+        return self.histogram(name).time()
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable copy of every instrument's current state."""
+        return MetricsSnapshot(
+            counters={n: c.value for n, c in sorted(self._counters.items())},
+            gauges={n: g.value for n, g in sorted(self._gauges.items())},
+            histograms={
+                n: HistogramSnapshot(
+                    count=h.count,
+                    total=float(h.total),
+                    min=float(h.min if h.min is not None else 0),
+                    max=float(h.max if h.max is not None else 0),
+                    mean=h.mean,
+                    p50=h.quantile(0.5),
+                    p99=h.quantile(0.99),
+                )
+                for n, h in sorted(self._histograms.items())
+            },
+        )
+
+    def reset(self) -> None:
+        """Drop every instrument."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(counters={len(self._counters)}, "
+            f"gauges={len(self._gauges)}, histograms={len(self._histograms)})"
+        )
+
+
+class _NullCounter(Counter):
+    """Shared do-nothing counter handed out by the null registry."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+    @contextmanager
+    def time(self) -> Iterator[None]:
+        yield
+
+
+class NullRegistry(MetricsRegistry):
+    """The default registry: every instrument is a shared no-op.
+
+    Keeping the interface identical means instrumented code never branches
+    on whether metrics are on; it just talks to whatever registry is
+    installed, and this one discards everything.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._counter = _NullCounter("<null>")
+        self._gauge = _NullGauge("<null>")
+        self._histogram = _NullHistogram("<null>")
+
+    def counter(self, name: str) -> Counter:
+        return self._counter
+
+    def gauge(self, name: str) -> Gauge:
+        return self._gauge
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histogram
+
+    def snapshot(self) -> MetricsSnapshot:
+        return MetricsSnapshot(counters={}, gauges={}, histograms={})
+
+
+#: The process-default registry; instruments vanish into it.
+NULL_REGISTRY = NullRegistry()
+
+_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The currently installed registry."""
+    return _registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install a registry process-wide; returns the previous one."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+@contextmanager
+def use_registry(
+    registry: MetricsRegistry | None = None,
+) -> Iterator[MetricsRegistry]:
+    """Install a registry (a fresh one by default) for the ``with`` body."""
+    if registry is None:
+        registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        yield registry
+    finally:
+        set_registry(previous)
+
+
+_suppress_depth = 0
+
+
+@contextmanager
+def suppressed() -> Iterator[None]:
+    """Discard every record/observe inside the ``with`` body.
+
+    Used around *probe* executions — e.g. the planner asking an encoding
+    how many bitvectors an interval would touch, which some encodings
+    answer by dry-running the evaluation — so estimation work never leaks
+    into the counters that are supposed to measure real query work.
+    """
+    global _suppress_depth
+    _suppress_depth += 1
+    try:
+        yield
+    finally:
+        _suppress_depth -= 1
+
+
+def enabled() -> bool:
+    """Whether any sink (real registry or active trace) is listening.
+
+    Instrumentation sites use this to skip *derived* tallies that would
+    cost real work to compute (e.g. the fill/literal breakdown of a WAH
+    word stream); plain increments just call :func:`record`, which is its
+    own cheap no-op when nothing listens.
+    """
+    if _suppress_depth:
+        return False
+    return _registry is not NULL_REGISTRY or current_span() is not None
+
+
+def record(name: str, value: int | float = 1) -> None:
+    """Increment a counter on the registry and on the active span, if any."""
+    if _suppress_depth:
+        return
+    registry = _registry
+    if registry is not NULL_REGISTRY:
+        registry.counter(name).inc(value)
+    span = current_span()
+    if span is not None:
+        span.add_metric(name, value)
+
+
+def observe(name: str, value: int | float) -> None:
+    """Record one histogram observation on the installed registry."""
+    if _suppress_depth:
+        return
+    registry = _registry
+    if registry is not NULL_REGISTRY:
+        registry.histogram(name).observe(value)

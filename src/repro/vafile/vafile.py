@@ -25,6 +25,9 @@ import numpy as np
 from repro.bitvector.ops import OpCounter
 from repro.dataset.table import IncompleteTable
 from repro.errors import DomainError, IndexBuildError, QueryError
+from repro.observability import enabled as _obs_enabled
+from repro.observability import record as _obs_record
+from repro.observability import trace_span as _trace_span
 from repro.query.model import Interval, MissingSemantics, RangeQuery
 from repro.vafile.quantizer import MISSING_CODE, QuantileQuantizer, UniformQuantizer
 
@@ -185,6 +188,7 @@ class VAFile:
         counter: OpCounter | None = None,
     ) -> np.ndarray:
         """Phase 1: the approximate (no-false-dismissal) candidate set."""
+        observing = _obs_enabled()
         mask = np.ones(self.num_records, dtype=bool)
         for name, interval in query.items():
             codes = self.codes(name)
@@ -195,6 +199,8 @@ class VAFile:
             mask &= in_range
             if stats is not None:
                 stats.codes_scanned += len(codes)
+            if observing:
+                _obs_record("vafile.codes_scanned", len(codes))
             if counter is not None:
                 # Cost-model units: one item per approximation examined.
                 # This is the paper's own cross-technique currency — "the
@@ -203,8 +209,12 @@ class VAFile:
                 # implementations performed bit operations over
                 # substantially fewer words" (Section 5.3).
                 counter.words_processed += len(codes)
-        if stats is not None:
-            stats.candidates += int(mask.sum())
+        if stats is not None or observing:
+            candidates = int(mask.sum())
+            if stats is not None:
+                stats.candidates += candidates
+            if observing:
+                _obs_record("vafile.candidates", candidates)
         return mask
 
     def execute_ids(
@@ -215,8 +225,11 @@ class VAFile:
         counter: OpCounter | None = None,
     ) -> np.ndarray:
         """Exact sorted record ids: scan then refine."""
-        mask = self.candidate_mask(query, semantics, stats, counter)
-        exact = self._refine(mask, query, semantics, stats)
+        with _trace_span("vafile.scan", dimensions=query.dimensionality):
+            mask = self.candidate_mask(query, semantics, stats, counter)
+        with _trace_span("vafile.refine"):
+            exact = self._refine(mask, query, semantics, stats)
+        _obs_record("vafile.queries")
         if stats is not None:
             stats.queries += 1
         return np.flatnonzero(exact)
@@ -241,6 +254,7 @@ class VAFile:
         stats: VaQueryStats | None,
     ) -> np.ndarray:
         """Phase 2: read actual values for boundary-bin candidates."""
+        observing = _obs_enabled()
         exact = candidates.copy()
         needs_read = np.zeros(self.num_records, dtype=bool)
         for name, interval in query.items():
@@ -258,13 +272,19 @@ class VAFile:
             if not boundary.any():
                 continue
             needs_read |= boundary
+            if observing:
+                _obs_record("vafile.cells_visited", int(boundary.sum()))
             column = self._table.column(name)
             ok = (column >= interval.lo) & (column <= interval.hi)
             # A missing value never sits in a boundary *value* bin, so no
             # missing-semantics branch is needed here; keep non-boundary rows.
             exact &= ok | ~boundary
-        if stats is not None:
-            stats.records_refined += int(needs_read.sum())
+        if stats is not None or observing:
+            refined = int(needs_read.sum())
+            if stats is not None:
+                stats.records_refined += refined
+            if observing:
+                _obs_record("vafile.records_refined", refined)
         return exact
 
 

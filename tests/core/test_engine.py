@@ -134,3 +134,51 @@ class TestExecution:
             for kind in ("bee", "bre", "vafile", "mosaic")
         }
         assert len({tuple(ids) for ids in results.values()}) == 1
+
+    def test_execute_with_trace_returns_span_tree(self, db, small_table):
+        db.create_index("rng", "bre")
+        query = RangeQuery.from_bounds({"mid": (2, 4)})
+        report = db.execute(query, trace=True)
+        assert report.trace is not None
+        assert report.elapsed_ns is not None and report.elapsed_ns > 0
+        assert report.trace.find("execute.bre")
+        expect = evaluate(small_table, query, MissingSemantics.IS_MATCH)
+        assert np.array_equal(np.sort(report.record_ids), expect)
+
+    def test_execute_without_trace_has_none(self, db):
+        db.create_index("rng", "bre")
+        report = db.execute({"mid": (2, 4)})
+        assert report.trace is None
+
+    def test_explain_analyze_appends_trace(self, db):
+        db.create_index("rng", "bre")
+        query = RangeQuery.from_bounds({"mid": (2, 4)})
+        plain = db.explain(query)
+        analyzed = db.explain(query, analyze=True)
+        assert analyzed.startswith(plain)
+        assert "execute.bre" in analyzed and "ms]" in analyzed
+
+
+class TestIntrospection:
+    def test_repr_names_indexes(self, db):
+        db.create_index("rng", "bre")
+        db.create_index("va", "vafile", ["mid"])
+        text = repr(db)
+        assert "records=1000" in text
+        assert "rng:bre" in text and "va:vafile" in text
+
+    def test_summary_counts_queries_per_index(self, db):
+        db.create_index("rng", "bre")
+        db.create_index("va", "vafile")
+        db.query({"mid": (1, 3)})
+        db.query({"mid": (1, 3)})
+        db.query({"mid": (1, 3)}, using="va")
+        text = db.summary()
+        assert "rng (bre)" in text and "2 queries served" in text
+        assert "va (vafile)" in text and "1 query served" in text
+
+    def test_summary_tracks_scans(self, db):
+        db.query({"mid": (1, 3)})
+        text = db.summary()
+        assert "(none; queries fall back to scan)" in text
+        assert "sequential scans: 1" in text

@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.experiments.harness import ExperimentResult, time_queries
+from repro.experiments.harness import ExperimentResult, metered, time_queries
+from repro.observability import record
 from repro.query.model import RangeQuery
 
 
@@ -51,3 +52,31 @@ class TestTimeQueries:
         elapsed = time_queries(seen.append, queries)
         assert elapsed >= 0.0
         assert len(seen) == 5
+
+    def test_repeats_runs_batch_n_times_reports_best(self):
+        seen = []
+        queries = [RangeQuery.from_bounds({"a": (1, 2)})] * 4
+        elapsed = time_queries(seen.append, queries, repeats=3)
+        assert elapsed >= 0.0
+        assert len(seen) == 12
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError, match="repeats"):
+            time_queries(lambda q: None, [], repeats=0)
+
+
+class TestMetered:
+    def test_returns_value_and_snapshot(self):
+        def work():
+            record("harness.units", 7)
+            return "done"
+
+        value, snapshot = metered(work)
+        assert value == "done"
+        assert snapshot.counters == {"harness.units": 7}
+
+    def test_registry_is_fresh_per_call(self):
+        _, first = metered(lambda: record("n"))
+        _, second = metered(lambda: record("n"))
+        assert first.counters == {"n": 1}
+        assert second.counters == {"n": 1}

@@ -1,0 +1,85 @@
+"""Snapshot exporters: text table, JSON lines, Prometheus exposition."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability import (
+    MetricsRegistry,
+    render_jsonl,
+    render_prometheus,
+    render_table,
+)
+
+
+def _sample_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("wah.words_decoded").inc(1234)
+    reg.counter("bitmap.bitvectors_touched").inc(7)
+    reg.gauge("index.nbytes").set(2048.0)
+    h = reg.histogram("engine.query_ns.bee")
+    for v in (100, 200, 400):
+        h.observe(v)
+    return reg
+
+
+class TestTable:
+    def test_aligned_columns(self):
+        text = render_table(_sample_registry().snapshot())
+        lines = text.splitlines()
+        assert lines[0].startswith("metric")
+        assert set(lines[1]) <= {"-", " "}
+        # Counters are comma-grouped; each row mentions its instrument type.
+        row = next(line for line in lines if "wah.words_decoded" in line)
+        assert "counter" in row and "1,234" in row
+        hist_row = next(line for line in lines if "engine.query_ns.bee" in line)
+        assert "count=3" in hist_row and "histogram" in hist_row
+
+    def test_accepts_live_registry(self):
+        reg = _sample_registry()
+        assert render_table(reg) == render_table(reg.snapshot())
+
+    def test_empty_snapshot(self):
+        assert render_table(MetricsRegistry().snapshot()) == "(no metrics recorded)"
+
+
+class TestJsonl:
+    def test_one_valid_object_per_line(self):
+        text = render_jsonl(_sample_registry().snapshot())
+        objs = [json.loads(line) for line in text.splitlines()]
+        by_name = {o["name"]: o for o in objs}
+        assert by_name["wah.words_decoded"] == {
+            "name": "wah.words_decoded", "type": "counter", "value": 1234,
+        }
+        assert by_name["index.nbytes"]["type"] == "gauge"
+        hist = by_name["engine.query_ns.bee"]
+        assert hist["type"] == "histogram"
+        assert hist["count"] == 3 and hist["sum"] == 700.0
+
+    def test_empty_snapshot_is_empty_string(self):
+        assert render_jsonl(MetricsRegistry().snapshot()) == ""
+
+
+class TestPrometheus:
+    def test_counters_get_total_suffix_and_type_lines(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert "# TYPE repro_wah_words_decoded_total counter" in text
+        assert "repro_wah_words_decoded_total 1234" in text
+        assert "# TYPE repro_index_nbytes gauge" in text
+        assert text.endswith("\n")
+
+    def test_histograms_export_as_summaries(self):
+        text = render_prometheus(_sample_registry().snapshot())
+        assert "# TYPE repro_engine_query_ns_bee summary" in text
+        assert 'repro_engine_query_ns_bee{quantile="0.5"}' in text
+        assert "repro_engine_query_ns_bee_sum 700.0" in text
+        assert "repro_engine_query_ns_bee_count 3" in text
+
+    def test_custom_prefix_and_name_sanitization(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.1").inc()
+        text = render_prometheus(reg.snapshot(), prefix="x")
+        assert "x_weird_name_1_total 1" in text
+
+    def test_empty_snapshot_is_empty_string(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""

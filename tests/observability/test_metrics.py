@@ -1,0 +1,152 @@
+"""MetricsRegistry, NullRegistry, and the module-level record/observe API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.observability import (
+    NULL_REGISTRY,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    enabled,
+    get_registry,
+    observe,
+    record,
+    set_registry,
+    suppressed,
+    use_registry,
+)
+
+
+class TestRegistry:
+    def test_counter_get_or_create(self):
+        reg = MetricsRegistry()
+        c = reg.counter("a.b")
+        c.inc()
+        c.inc(4)
+        assert reg.counter("a.b") is c
+        assert c.value == 5
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(10.0)
+        g.dec(3.0)
+        g.inc()
+        assert g.value == 8.0
+
+    def test_histogram_stats(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1, 2, 4, 100, 1000):
+            h.observe(v)
+        assert h.count == 5
+        assert h.min == 1 and h.max == 1000
+        assert h.mean == pytest.approx(1107 / 5)
+        # p50 falls in the bucket holding 4 (bit_length 3 -> bound 2**3 - 1).
+        assert h.quantile(0.5) == 7.0
+
+    def test_histogram_timer_records(self):
+        reg = MetricsRegistry()
+        with reg.timer("t"):
+            pass
+        snap = reg.snapshot().histograms["t"]
+        assert snap.count == 1
+        assert snap.total >= 0
+
+    def test_snapshot_is_sorted_and_detached(self):
+        reg = MetricsRegistry()
+        reg.counter("z").inc()
+        reg.counter("a").inc(2)
+        snap = reg.snapshot()
+        assert list(snap.counters) == ["a", "z"]
+        reg.counter("a").inc(100)
+        assert snap.counters["a"] == 2
+
+    def test_reset_drops_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert not reg.snapshot()
+
+
+class TestNullRegistry:
+    def test_null_registry_adds_no_counters(self):
+        reg = NullRegistry()
+        reg.counter("a").inc(100)
+        reg.gauge("b").set(5)
+        reg.histogram("c").observe(42)
+        assert not reg.snapshot()
+        assert reg.snapshot().counters == {}
+
+    def test_default_registry_is_null(self):
+        assert get_registry() is NULL_REGISTRY
+        record("anything", 10)  # must be a harmless no-op
+        observe("anything.ns", 10)
+        assert not NULL_REGISTRY.snapshot()
+
+    def test_enabled_is_false_by_default(self):
+        assert not enabled()
+
+
+class TestInstallation:
+    def test_use_registry_installs_and_restores(self):
+        before = get_registry()
+        with use_registry() as reg:
+            assert get_registry() is reg
+            assert enabled()
+            record("hits", 3)
+        assert get_registry() is before
+        assert reg.snapshot().counters == {"hits": 3}
+
+    def test_set_registry_returns_previous(self):
+        reg = MetricsRegistry()
+        prev = set_registry(reg)
+        try:
+            assert get_registry() is reg
+        finally:
+            assert set_registry(prev) is reg
+
+    def test_nested_use_registry(self):
+        with use_registry() as outer:
+            record("n")
+            with use_registry() as inner:
+                record("n")
+            record("n")
+        assert outer.snapshot().counters == {"n": 2}
+        assert inner.snapshot().counters == {"n": 1}
+
+
+class TestSuppression:
+    def test_suppressed_discards_records(self):
+        with use_registry() as reg:
+            record("kept")
+            with suppressed():
+                assert not enabled()
+                record("dropped")
+                observe("dropped.ns", 1)
+            record("kept")
+        assert reg.snapshot().counters == {"kept": 2}
+        assert "dropped.ns" not in reg.snapshot().histograms
+
+    def test_suppressed_nests(self):
+        with use_registry() as reg:
+            with suppressed():
+                with suppressed():
+                    record("x")
+                record("x")
+            record("x")
+        assert reg.snapshot().counters == {"x": 1}
+
+
+class TestHistogramBuckets:
+    def test_zero_and_negative_land_in_bucket_zero(self):
+        h = Histogram("edge")
+        h.observe(0)
+        h.observe(-5)
+        assert h.buckets[0] == 2
+        assert h.quantile(0.5) == 0.0
+
+    def test_quantile_empty(self):
+        assert Histogram("e").quantile(0.99) == 0.0

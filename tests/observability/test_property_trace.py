@@ -1,0 +1,52 @@
+"""Property: observability must never change what a query returns."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import IncompleteDatabase
+from repro.dataset.synthetic import generate_uniform_table
+from repro.observability import use_registry
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+@st.composite
+def _database_and_query(draw):
+    seed = draw(st.integers(0, 2**16))
+    cardinality = draw(st.integers(2, 30))
+    missing_rate = draw(st.floats(0.0, 0.6))
+    num_records = draw(st.integers(1, 300))
+    table = generate_uniform_table(
+        num_records,
+        {"a": cardinality, "b": 10},
+        {"a": missing_rate, "b": 0.1},
+        seed=seed,
+    )
+    lo = draw(st.integers(1, cardinality))
+    hi = draw(st.integers(lo, cardinality))
+    kind = draw(st.sampled_from(["bee", "bre", "bie", "bsl", "vafile"]))
+    query = RangeQuery.from_bounds({"a": (lo, hi)})
+    semantics = draw(st.sampled_from(list(MissingSemantics)))
+    return table, kind, query, semantics
+
+
+@given(_database_and_query())
+@settings(max_examples=40, deadline=None)
+def test_tracing_and_metrics_never_change_results(case):
+    table, kind, query, semantics = case
+    db = IncompleteDatabase(table)
+    db.create_index("ix", kind)
+
+    plain = db.execute(query, semantics)
+    traced = db.execute(query, semantics, trace=True)
+    with use_registry():
+        metered = db.execute(query, semantics)
+    with use_registry():
+        both = db.execute(query, semantics, trace=True)
+
+    for report in (traced, metered, both):
+        assert np.array_equal(report.record_ids, plain.record_ids)
+    assert traced.trace is not None
+    assert both.trace is not None

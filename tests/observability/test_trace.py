@@ -1,0 +1,106 @@
+"""QueryTrace span trees: nesting, metric attribution, rendering."""
+
+from __future__ import annotations
+
+from repro.observability import (
+    QueryTrace,
+    activate,
+    current_span,
+    current_trace,
+    record,
+    trace_span,
+)
+
+
+class TestSpanTree:
+    def test_nested_spans_form_a_tree(self):
+        trace = QueryTrace("query")
+        with trace.span("plan"):
+            pass
+        with trace.span("execute"):
+            with trace.span("interval", attribute="a"):
+                pass
+            with trace.span("interval", attribute="b"):
+                pass
+        trace.close()
+        assert [s.name for _, s in trace.root.walk()] == [
+            "query", "plan", "execute", "interval", "interval",
+        ]
+        execute = trace.find("execute")[0]
+        assert [c.attributes["attribute"] for c in execute.children] == ["a", "b"]
+
+    def test_walk_reports_depth(self):
+        trace = QueryTrace()
+        with trace.span("a"):
+            with trace.span("b"):
+                pass
+        depths = {s.name: d for d, s in trace.root.walk()}
+        assert depths == {"query": 0, "a": 1, "b": 2}
+
+    def test_spans_are_timed(self):
+        trace = QueryTrace()
+        with trace.span("timed") as span:
+            assert span.duration_ns is None
+        assert span.duration_ns is not None and span.duration_ns >= 0
+        trace.close()
+        assert trace.root.duration_ns >= span.duration_ns
+
+    def test_metric_sums_over_subtree(self):
+        trace = QueryTrace()
+        trace.add("n", 1)
+        with trace.span("child"):
+            trace.add("n", 2)
+            with trace.span("grandchild"):
+                trace.add("n", 4)
+        assert trace.metric("n") == 7
+        assert trace.find("child")[0].metric("n") == 6
+
+    def test_close_is_idempotent(self):
+        trace = QueryTrace()
+        trace.close()
+        first = trace.root.end_ns
+        trace.close()
+        assert trace.root.end_ns == first
+
+
+class TestActivation:
+    def test_no_active_trace_by_default(self):
+        assert current_trace() is None
+        assert current_span() is None
+        with trace_span("orphan") as span:
+            assert span is None  # no-op without an active trace
+
+    def test_activate_scopes_the_trace(self):
+        trace = QueryTrace()
+        with activate(trace):
+            assert current_trace() is trace
+            with trace_span("inner", k="v") as span:
+                assert current_span() is span
+                assert span.attributes == {"k": "v"}
+        assert current_trace() is None
+        assert trace.find("inner")
+
+    def test_record_lands_on_innermost_span(self):
+        trace = QueryTrace()
+        with activate(trace):
+            record("outer.count", 1)
+            with trace_span("leaf"):
+                record("leaf.count", 5)
+        assert trace.root.metrics["outer.count"] == 1
+        assert trace.find("leaf")[0].metrics["leaf.count"] == 5
+        assert "leaf.count" not in trace.root.metrics
+        assert trace.metric("leaf.count") == 5
+
+
+class TestFormat:
+    def test_format_renders_tree_and_metrics(self):
+        trace = QueryTrace("query", semantics="is_match")
+        with trace.span("execute", index="bee"):
+            trace.add("wah.ops", 3)
+        trace.close()
+        text = trace.format()
+        lines = text.splitlines()
+        assert lines[0].startswith("query {semantics=is_match}")
+        assert any(line.startswith("  execute {index=bee}") for line in lines)
+        assert "    . wah.ops = 3" in lines
+        assert "ms]" in lines[0]

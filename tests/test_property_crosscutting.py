@@ -115,8 +115,8 @@ def test_workload_inversion_is_consistent(gs, pm, k):
     achieved = expected_global_selectivity([attr_sel] * k, [pm] * k)
     floor = expected_global_selectivity([1.0 / cardinality] * k, [pm] * k)
     assert floor - 1e-12 <= achieved <= 1.0 + 1e-12
-    # Reachable targets are hit exactly.
-    if gs ** (1.0 / k) > pm and attr_sel < 1.0:
+    # Reachable targets are hit exactly (neither clamp edge fired).
+    if gs ** (1.0 / k) > pm and 1.0 / cardinality < attr_sel < 1.0:
         assert abs(achieved - gs) < 1e-6
 
 
