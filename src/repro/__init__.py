@@ -32,6 +32,7 @@ from repro.bitvector import BbcBitVector, BitVector, WahBitVector
 from repro.core import (
     IncompleteDatabase,
     Recommendation,
+    SubResultCache,
     WorkloadProfile,
     recommend,
 )
@@ -54,6 +55,7 @@ from repro.errors import (
     CorruptIndexError,
     DomainError,
     IndexBuildError,
+    PlanningError,
     QueryError,
     ReproError,
     SchemaError,
@@ -103,6 +105,7 @@ __all__ = [
     "reorder",
     "MISSING",
     "MissingSemantics",
+    "PlanningError",
     "QueryError",
     "RangeEncodedBitmapIndex",
     "RangeQuery",
@@ -110,6 +113,7 @@ __all__ = [
     "ReproError",
     "Schema",
     "SchemaError",
+    "SubResultCache",
     "VAFile",
     "WahBitVector",
     "WorkloadGenerator",

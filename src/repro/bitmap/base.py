@@ -179,6 +179,7 @@ class BitmapIndex(abc.ABC):
             raise IndexBuildError("bitmap index requires at least one attribute")
         self._codec = codec
         self._nbits = table.num_records
+        self._generation = 0
         self._deleted: np.ndarray | None = None
         self._alive_cache = None
         self._attrs: dict[str, _AttributeBitmaps] = {}
@@ -216,6 +217,62 @@ class BitmapIndex(abc.ABC):
     ):
         """Evaluate ``v1 <= A_i <= v2`` under ``semantics``; returns a bitvector."""
 
+    def interval_cache_worthy(
+        self,
+        attribute: str,
+        interval: Interval,
+        semantics: MissingSemantics,
+    ) -> bool:
+        """Whether memoizing this interval's sub-result is likely to pay.
+
+        Sub-results that are a single stored bitvector read are cheaper to
+        re-read than to hold a second copy of, so the default declines them
+        and accepts anything that combines two or more bitvectors.
+        Encodings override this where the read count misses real work (a
+        complement pass, bit-serial slice arithmetic).
+        """
+        return self.bitmaps_for_interval(attribute, interval, semantics) >= 2
+
+    def evaluate_interval_cached(
+        self,
+        attribute: str,
+        interval: Interval,
+        semantics: MissingSemantics,
+        counter: OpCounter | None = None,
+        cache=None,
+        cache_key: tuple = (),
+    ):
+        """Cache-aware front door to :meth:`evaluate_interval`.
+
+        With no ``cache`` this is exactly :meth:`evaluate_interval`.  With
+        one, cache-worthy sub-results are looked up under a key extending
+        ``cache_key`` (the engine passes the attached index's name) with
+        everything that determines the answer: encoding, codec, mutation
+        generation, attribute, bounds, and semantics.  On a hit the stored
+        bitvector is returned as-is and no evaluation counters move — reuse
+        is exactly the work the cost model no longer pays.
+        """
+        if cache is None or not self.interval_cache_worthy(
+            attribute, interval, semantics
+        ):
+            return self.evaluate_interval(attribute, interval, semantics, counter)
+        key = (
+            *cache_key,
+            self.encoding,
+            self._codec,
+            self._generation,
+            attribute,
+            interval.lo,
+            interval.hi,
+            semantics.value,
+        )
+        result = cache.get(key)
+        if result is not None:
+            return result
+        result = self.evaluate_interval(attribute, interval, semantics, counter)
+        cache.put(key, result)
+        return result
+
     # -- accessors ---------------------------------------------------------
 
     @property
@@ -227,6 +284,16 @@ class BitmapIndex(abc.ABC):
     def num_records(self) -> int:
         """Number of records covered by every bitmap."""
         return self._nbits
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter, bumped by append/delete/compact.
+
+        Sub-result caches fold this into their keys so entries memoized
+        against an older state of the index can never answer a query after
+        the index changes (see :mod:`repro.core.cache`).
+        """
+        return self._generation
 
     @property
     def attributes(self) -> tuple[str, ...]:
@@ -272,6 +339,8 @@ class BitmapIndex(abc.ABC):
         query: RangeQuery,
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         counter: OpCounter | None = None,
+        cache=None,
+        cache_key: tuple = (),
     ):
         """Answer a conjunctive range query; returns the result bitvector.
 
@@ -284,10 +353,17 @@ class BitmapIndex(abc.ABC):
         trace), each interval evaluation runs inside its own span and its
         bitvector/word tallies are recorded per dimension; otherwise this is
         the plain uninstrumented path.
+
+        With a :class:`~repro.core.cache.SubResultCache` in ``cache``,
+        per-interval sub-results are memoized and reused across the queries
+        of a batch (see :meth:`evaluate_interval_cached`); results are
+        identical either way.
         """
         if not _obs_enabled():
             partials = [
-                self.evaluate_interval(name, interval, semantics, counter)
+                self.evaluate_interval_cached(
+                    name, interval, semantics, counter, cache, cache_key
+                )
                 for name, interval in query.items()
             ]
             result = big_and(partials, counter)
@@ -301,7 +377,9 @@ class BitmapIndex(abc.ABC):
             ):
                 marks = _counter_marks(track)
                 partials.append(
-                    self.evaluate_interval(name, interval, semantics, track)
+                    self.evaluate_interval_cached(
+                        name, interval, semantics, track, cache, cache_key
+                    )
                 )
                 _record_counter_deltas(track, marks)
         with _trace_span("bitmap.and", operands=len(partials)):
@@ -341,6 +419,7 @@ class BitmapIndex(abc.ABC):
         before = int(self._deleted.sum())
         self._deleted[record_ids] = True
         self._alive_cache = None
+        self._generation += 1
         return int(self._deleted.sum()) - before
 
     @property
@@ -355,6 +434,7 @@ class BitmapIndex(abc.ABC):
         they came from (``old_id = mapping[new_id]``), so callers can keep
         any external references consistent.
         """
+        self._generation += 1
         if self._deleted is None or not self._deleted.any():
             self._deleted = None
             self._alive_cache = None
@@ -378,9 +458,13 @@ class BitmapIndex(abc.ABC):
         query: RangeQuery,
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         counter: OpCounter | None = None,
+        cache=None,
+        cache_key: tuple = (),
     ) -> np.ndarray:
         """Answer a query as a sorted array of record ids."""
-        return self.execute(query, semantics, counter).to_indices()
+        return self.execute(
+            query, semantics, counter, cache, cache_key
+        ).to_indices()
 
     def execute_count(
         self,
@@ -459,6 +543,7 @@ class BitmapIndex(abc.ABC):
             )
             self._alive_cache = None
         self._nbits = new_nbits
+        self._generation += 1
 
     def _backfill_slot(self, family: _AttributeBitmaps, slot: int) -> np.ndarray:
         """Bits of a previously unstored slot for the pre-append records.

@@ -158,6 +158,21 @@ class BitSlicedIndex(BitmapIndex):
                     result = result | missing
         return result
 
+    def interval_cache_worthy(
+        self,
+        attribute: str,
+        interval: Interval,
+        semantics: MissingSemantics,
+    ) -> bool:
+        """Always cache: every bound runs O(lg C) bit-serial slice ops.
+
+        The base-class read-count rule would call
+        :meth:`bitmaps_for_interval`, which for this encoding dry-runs the
+        whole evaluation — more work than the evaluation it is trying to
+        avoid.
+        """
+        return True
+
     def bitmaps_for_interval(
         self,
         attribute: str,

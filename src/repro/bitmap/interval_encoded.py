@@ -107,6 +107,27 @@ class IntervalEncodedBitmapIndex(BitmapIndex):
             result = result.andnot(missing)
         return result
 
+    def interval_cache_worthy(
+        self,
+        attribute: str,
+        interval: Interval,
+        semantics: MissingSemantics,
+    ) -> bool:
+        """Cache every non-trivial interval.
+
+        All window combinations perform at least one logical operation, so
+        the only evaluation not worth memoizing is the full-domain interval
+        that synthesizes a constant (unless it still pays a missing-bitmap
+        adjustment under NOT_MATCH).  Deciding here also avoids
+        :meth:`bitmaps_for_interval`'s dry-run of the whole evaluation.
+        """
+        family = self._family(attribute)
+        if interval.lo == 1 and interval.hi == family.cardinality:
+            return (
+                semantics is MissingSemantics.NOT_MATCH and family.has_missing
+            )
+        return True
+
     def _evaluate_windows(self, family, lo: int, hi: int,
                           counter: OpCounter | None):
         """The raw window combination; returns ``(vector, includes_missing)``.

@@ -13,10 +13,13 @@ and the work done per query, which is what the paper studies.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Mapping
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -32,6 +35,7 @@ from repro.bitmap.equality import EqualityEncodedBitmapIndex
 from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
 from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
 from repro.bitvector.ops import OpCounter
+from repro.core.cache import DEFAULT_CACHE_BYTES, SubResultCache
 from repro.dataset.table import IncompleteTable
 from repro.errors import QueryError, ReproError
 from repro.query.model import MissingSemantics, RangeQuery
@@ -114,14 +118,39 @@ class IncompleteDatabase:
     ----------
     table:
         The data to serve.  A sequential-scan fallback is always available.
+    cache_bytes:
+        Byte budget for the database's bitvector sub-result cache, used by
+        :meth:`execute_batch` (``None`` = unbounded, ``0`` disables storage
+        entirely).  See :class:`repro.core.cache.SubResultCache`.
     """
 
-    def __init__(self, table: IncompleteTable):
+    def __init__(
+        self,
+        table: IncompleteTable,
+        cache_bytes: int | None = DEFAULT_CACHE_BYTES,
+    ):
         self._table = table
         self._indexes: dict[str, AttachedIndex] = {}
         self._scan = SequentialScan(table)
         self._statistics = None
         self._query_counts: dict[str, int] = {}
+        self._counts_lock = threading.Lock()
+        self._cache = SubResultCache(max_bytes=cache_bytes)
+
+    @property
+    def sub_result_cache(self) -> SubResultCache:
+        """The per-interval bitvector cache :meth:`execute_batch` reuses."""
+        return self._cache
+
+    def invalidate_cache(self, index_name: str | None = None) -> int:
+        """Drop cached sub-results (all, or one index's); returns the count.
+
+        Index mutations (append/delete/compact) are already fenced by the
+        generation tag in every cache key; this is the explicit hatch for
+        anything the engine cannot see, e.g. replacing the table out from
+        under an index.
+        """
+        return self._cache.invalidate(index_name)
 
     @property
     def statistics(self):
@@ -157,6 +186,7 @@ class IncompleteDatabase:
         name: str,
         kind: str,
         attributes: Iterable[str] | None = None,
+        overwrite: bool = False,
         **options,
     ) -> AttachedIndex:
         """Build and attach an index.
@@ -164,18 +194,26 @@ class IncompleteDatabase:
         Parameters
         ----------
         name:
-            Registry name, unique per database.
+            Registry name, unique per database.  Re-using a name raises
+            unless ``overwrite=True``, which replaces the old index (and
+            drops its cached sub-results) atomically from the planner's
+            point of view — it never sees a half-registered entry.
         kind:
             One of ``bee``, ``bre``, ``vafile``, ``mosaic``,
             ``rtree-sentinel``, ``bitstring``.
         attributes:
             Attributes to cover; defaults to the whole schema.
+        overwrite:
+            Replace an existing index of the same name instead of raising.
         options:
             Passed to the index constructor (e.g. ``codec="wah"`` for
             bitmaps, ``bits={...}`` for VA-files).
         """
-        if name in self._indexes:
-            raise ReproError(f"an index named {name!r} already exists")
+        if name in self._indexes and not overwrite:
+            raise ReproError(
+                f"an index named {name!r} already exists "
+                f"(pass overwrite=True to replace it)"
+            )
         try:
             builder = _BUILDERS[kind]
         except KeyError:
@@ -185,14 +223,16 @@ class IncompleteDatabase:
         attrs = tuple(attributes) if attributes is not None else self._table.schema.names
         index = builder(self._table, list(attrs), **options)
         attached = AttachedIndex(name=name, kind=kind, index=index, attributes=attrs)
+        self._cache.invalidate(name)
         self._indexes[name] = attached
         return attached
 
     def drop_index(self, name: str) -> None:
-        """Detach an index by name."""
+        """Detach an index by name, dropping its cached sub-results."""
         if name not in self._indexes:
             raise ReproError(f"no index named {name!r}")
         del self._indexes[name]
+        self._cache.invalidate(name)
 
     def get_index(self, name: str) -> AttachedIndex:
         """Look up an attached index."""
@@ -304,6 +344,27 @@ class IncompleteDatabase:
         """
         if not isinstance(query, RangeQuery):
             query = RangeQuery.from_bounds(query)
+        return self._execute_query(query, semantics, using, trace)
+
+    def _execute_query(
+        self,
+        query: RangeQuery,
+        semantics: MissingSemantics,
+        using: str | None,
+        trace: bool,
+        cache: SubResultCache | None = None,
+        shared_masks: dict | None = None,
+        planned: tuple | None = None,
+    ) -> QueryReport:
+        """Shared single-query path behind :meth:`execute` / :meth:`execute_batch`.
+
+        ``planned`` is the batch executor's precomputed
+        ``(chosen, estimate, forced)`` triple; when given, the plan span is
+        kept (so traces from both paths have the same shape) but no planning
+        work is redone.  ``cache`` and ``shared_masks`` thread the batch
+        sub-result stores into the access methods that understand them;
+        both default off, so :meth:`execute` stays cache-free.
+        """
         qtrace = (
             obs.QueryTrace(
                 "query", query=repr(query), semantics=semantics.value
@@ -316,7 +377,9 @@ class IncompleteDatabase:
             observing = obs.enabled()
             with obs.trace_span("plan") as plan_span:
                 estimate = None
-                if using is not None:
+                if planned is not None:
+                    chosen, estimate, forced = planned
+                elif using is not None:
                     chosen = self.get_index(using)
                     if not chosen.covers(query):
                         raise QueryError(
@@ -337,6 +400,8 @@ class IncompleteDatabase:
                         "chosen", chosen.name if chosen else "<scan>"
                     )
                     plan_span.set("forced", forced)
+                    if planned is not None:
+                        plan_span.set("batched", True)
                     if estimate is not None:
                         plan_span.set(
                             "estimated_items", round(estimate.items)
@@ -351,15 +416,23 @@ class IncompleteDatabase:
             else:
                 with obs.trace_span(f"execute.{kind}", index=name):
                     index = chosen.index
+                    kwargs = {}
+                    if isinstance(index, BitmapIndex):
+                        if cache is not None:
+                            kwargs["cache"] = cache
+                            kwargs["cache_key"] = (chosen.name,)
+                    elif isinstance(index, VAFile):
+                        if shared_masks is not None:
+                            kwargs["shared_masks"] = shared_masks
                     if observing and isinstance(index, (BitmapIndex, VAFile)):
                         track = OpCounter()
-                        ids = np.asarray(
-                            index.execute_ids(query, semantics, counter=track)
-                        )
-                    else:
-                        ids = np.asarray(index.execute_ids(query, semantics))
+                        kwargs["counter"] = track
+                    ids = np.asarray(
+                        index.execute_ids(query, semantics, **kwargs)
+                    )
             elapsed_ns = time.perf_counter_ns() - start
-            self._query_counts[name] = self._query_counts.get(name, 0) + 1
+            with self._counts_lock:
+                self._query_counts[name] = self._query_counts.get(name, 0) + 1
             if observing:
                 obs.record("engine.queries")
                 obs.record(f"engine.queries.{kind}")
@@ -385,6 +458,118 @@ class IncompleteDatabase:
             trace=qtrace,
             elapsed_ns=elapsed_ns,
         )
+
+    def execute_batch(
+        self,
+        queries: Sequence[RangeQuery | Mapping[str, tuple[int, int]]],
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+        trace: bool = False,
+        cache: bool | SubResultCache | None = True,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> list[QueryReport]:
+        """Execute a workload of queries, reusing sub-results across them.
+
+        Every query is planned up front; queries are then grouped by chosen
+        index and each group is ordered so queries sharing intervals run
+        back-to-back (see :func:`repro.core.planner.plan_batch`).  Within a
+        group, bitmap indexes memoize per-interval bitvectors in the
+        database's :class:`~repro.core.cache.SubResultCache` and VA-files
+        share each distinct interval's approximation scan.
+
+        Batching never changes results: the returned reports are in
+        submission order and each carries exactly the record-id set the
+        query would get from :meth:`execute` (the property-test suite holds
+        us to that, extending PR 2's "tracing never changes results").
+
+        Parameters
+        ----------
+        queries:
+            :class:`RangeQuery` objects or ``{attribute: (lo, hi)}`` bounds.
+        semantics:
+            Missing-data semantics applied to every query.
+        using:
+            Force one attached index for the whole batch.
+        trace:
+            Attach a per-query span tree to each report.  Traces stay
+            isolated per query even under ``parallel=True`` (span context is
+            thread-local).
+        cache:
+            ``True`` (default) uses the database's own cache, ``False`` /
+            ``None`` disables sub-result memoization, or pass an explicit
+            :class:`~repro.core.cache.SubResultCache` to control the budget
+            per batch.
+        parallel:
+            Run per-index groups concurrently on a thread pool.  Groups
+            never share per-group state; the sub-result cache itself is
+            thread-safe.
+        max_workers:
+            Thread-pool size cap when ``parallel=True``.
+        """
+        from repro.core.planner import plan_batch
+
+        normalized = [
+            q if isinstance(q, RangeQuery) else RangeQuery.from_bounds(q)
+            for q in queries
+        ]
+        if cache is True:
+            sub_cache = self._cache
+        elif cache is False or cache is None:
+            sub_cache = None
+        else:
+            sub_cache = cache
+        planned: list[tuple] = []
+        chosen_names: list[str | None] = []
+        for query in normalized:
+            if using is not None:
+                chosen = self.get_index(using)
+                if not chosen.covers(query):
+                    raise QueryError(
+                        f"index {using!r} does not cover attributes "
+                        f"{sorted(set(query.attributes) - set(chosen.attributes))}"
+                    )
+                planned.append((chosen, None, True))
+            else:
+                chosen, plans = self._plan(query, semantics)
+                estimate = None
+                if chosen is not None:
+                    estimate = next(
+                        (p for p in plans if p.index_name == chosen.name),
+                        None,
+                    )
+                planned.append((chosen, estimate, False))
+            chosen_names.append(chosen.name if chosen is not None else None)
+        groups = plan_batch(normalized, chosen_names)
+        reports: list[QueryReport | None] = [None] * len(normalized)
+
+        def run_group(group) -> None:
+            # Per-group memo for VA-file interval masks; bitmap groups
+            # simply never read it.
+            shared_masks: dict = {}
+            for pos in group.positions:
+                reports[pos] = self._execute_query(
+                    normalized[pos],
+                    semantics,
+                    using=None,
+                    trace=trace,
+                    cache=sub_cache,
+                    shared_masks=shared_masks,
+                    planned=planned[pos],
+                )
+
+        if parallel and len(groups) > 1:
+            workers = max_workers or min(len(groups), os.cpu_count() or 1)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for future in [pool.submit(run_group, g) for g in groups]:
+                    future.result()
+        else:
+            for group in groups:
+                run_group(group)
+        if obs.enabled():
+            obs.record("engine.batches")
+            obs.record("engine.batch_queries", len(normalized))
+        return reports
 
     def query(
         self,

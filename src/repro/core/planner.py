@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bitmap.base import BitmapIndex
+from repro.errors import PlanningError
 from repro.observability import enabled as _obs_enabled
 from repro.observability import record as _obs_record
 from repro.query.model import MissingSemantics, RangeQuery
@@ -50,8 +51,14 @@ def estimate_bitmap_cost(
     total_words = 0.0
     total_bitmaps = 0
     for name, interval in query.items():
+        attr_report = report.get(name)
+        if attr_report is None:
+            raise PlanningError(
+                f"cannot cost a {index.encoding} bitmap plan: the index does "
+                f"not cover query attribute {name!r} "
+                f"(covers {sorted(report)})"
+            )
         touched = index.bitmaps_for_interval(name, interval, semantics)
-        attr_report = report[name]
         if attr_report.num_bitmaps:
             avg_words = attr_report.compressed_bytes / 4 / attr_report.num_bitmaps
         else:
@@ -73,6 +80,12 @@ def estimate_vafile_cost(
     semantics: MissingSemantics,
 ) -> tuple[float, str]:
     """Estimated approximations processed by a VA-file for ``query``."""
+    uncovered = set(query.attributes) - set(vafile.attributes)
+    if uncovered:
+        raise PlanningError(
+            f"cannot cost a VA-file plan: the file does not cover query "
+            f"attributes {sorted(uncovered)}"
+        )
     items = float(vafile.num_records * query.dimensionality)
     return items, (
         f"{vafile.num_records} approximations x {query.dimensionality} dims"
@@ -102,9 +115,18 @@ def rank_plans(
     query: RangeQuery,
     semantics: MissingSemantics,
 ) -> list[CostEstimate]:
-    """Cost estimates for all costable covering indexes, cheapest first."""
+    """Cost estimates for all costable covering indexes, cheapest first.
+
+    Candidates that do not cover every query attribute are skipped (an
+    index that cannot serve the query has no plan to rank), so callers may
+    pass an unfiltered index list without tripping the cost model's
+    coverage check.
+    """
     estimates = []
     for attached in candidates:
+        covers = getattr(attached, "covers", None)
+        if covers is not None and not covers(query):
+            continue
         estimate = estimate_cost(attached, query, semantics)
         if estimate is not None:
             estimates.append(estimate)
@@ -113,3 +135,64 @@ def rank_plans(
         _obs_record("planner.rankings")
         _obs_record("planner.plans_costed", len(estimates))
     return estimates
+
+
+# -- batch planning ----------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BatchGroup:
+    """One batch executor work unit: a run of queries on one access path.
+
+    ``positions`` index into the submitted workload, in execution order;
+    results are reassembled into submission order afterwards, so ordering
+    here is purely a cache-locality decision.
+    """
+
+    #: Attached-index name serving the group; None means sequential scan.
+    index_name: str | None
+    #: Workload positions, ordered for sub-result reuse.
+    positions: tuple[int, ...]
+
+
+def reuse_sort_key(query: RangeQuery) -> tuple:
+    """Canonical interval signature used to cluster cache-sharing queries.
+
+    Queries with identical signatures share every per-attribute sub-result;
+    sorting a group by this key makes them adjacent, so under a starved
+    cache budget a memoized interval is reused before eviction pressure
+    from unrelated queries pushes it out.  Sharing ties (a common prefix of
+    ``(attribute, lo, hi)`` triples) land nearby for the same reason.
+    """
+    return tuple(
+        sorted((name, iv.lo, iv.hi) for name, iv in query.items())
+    )
+
+
+def plan_batch(
+    queries: list[RangeQuery],
+    chosen_names: list[str | None],
+) -> list[BatchGroup]:
+    """Group a workload by chosen index and order each group for reuse.
+
+    ``chosen_names[i]`` is the index the engine picked for ``queries[i]``
+    (None for the scan fallback).  Groups come back in first-appearance
+    order; within a group, positions are ordered by
+    :func:`reuse_sort_key` with submission order as the tiebreak, keeping
+    the plan deterministic.
+    """
+    if len(queries) != len(chosen_names):
+        raise PlanningError(
+            f"got {len(queries)} queries but {len(chosen_names)} plans"
+        )
+    by_index: dict[str | None, list[int]] = {}
+    for position, name in enumerate(chosen_names):
+        by_index.setdefault(name, []).append(position)
+    groups = []
+    for name, positions in by_index.items():
+        positions.sort(key=lambda p: (reuse_sort_key(queries[p]), p))
+        groups.append(BatchGroup(index_name=name, positions=tuple(positions)))
+    if _obs_enabled():
+        _obs_record("planner.batches")
+        _obs_record("planner.batch_groups", len(groups))
+    return groups

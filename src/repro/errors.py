@@ -29,5 +29,14 @@ class IndexBuildError(ReproError):
     """An index could not be built over the supplied table."""
 
 
+class PlanningError(ReproError):
+    """The planner was asked to cost a plan it cannot serve.
+
+    Raised eagerly — e.g. when costing an index against a query naming
+    attributes the index does not cover — instead of leaking a bare
+    ``KeyError`` from the cost model's internals.
+    """
+
+
 class CorruptIndexError(ReproError):
     """A serialized index or compressed bitvector failed to decode."""

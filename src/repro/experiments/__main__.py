@@ -18,7 +18,7 @@ import time
 from typing import Callable
 
 from repro.experiments.fig1 import run_fig1
-from repro.experiments.fig4 import run_fig4a, run_fig4b
+from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4_batch
 from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
 from repro.experiments.realdata import run_real_compression, run_real_query_time
 
@@ -36,6 +36,9 @@ def _experiments(scale: dict) -> dict[str, Callable[[], object]]:
         ),
         "fig4a": lambda: run_fig4a(num_records=scale["records"]),
         "fig4b": lambda: run_fig4b(num_records=scale["records"]),
+        "fig4-batch": lambda: run_fig4_batch(
+            num_records=scale["records"], num_queries=scale["queries"] * 2
+        ),
         "fig5a": lambda: run_fig5a(
             num_records=scale["records"], num_queries=scale["queries"]
         ),

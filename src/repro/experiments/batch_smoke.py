@@ -1,0 +1,91 @@
+"""CI smoke check for the batch executor and sub-result cache.
+
+Runs a repeated-interval workload through ``execute_batch`` (sequentially
+and in parallel, under both missing-data semantics) and fails loudly if
+
+* any batch report's record-id set diverges from one-by-one ``execute``, or
+* the sub-result cache records zero hits — a repeated-interval workload
+  through a bitmap index must hit, so zero means the cache path silently
+  stopped being exercised.
+
+Usage (what ``.github/workflows/ci.yml`` runs)::
+
+    PYTHONPATH=src python -m repro.experiments.batch_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.engine import IncompleteDatabase
+from repro.dataset.synthetic import generate_uniform_table
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+def _workload(seed: int, pool_size: int, num_queries: int) -> list[RangeQuery]:
+    rng = np.random.default_rng(seed)
+    pool = []
+    for _ in range(pool_size):
+        mid_lo = int(rng.integers(1, 10))
+        high_lo = int(rng.integers(1, 50))
+        pool.append(
+            RangeQuery.from_bounds({
+                "mid": (mid_lo, int(rng.integers(mid_lo, 13))),
+                "high": (high_lo, int(rng.integers(high_lo, 65))),
+            })
+        )
+    return [pool[i] for i in rng.integers(0, pool_size, num_queries)]
+
+
+def main(argv: list[str] | None = None) -> int:
+    table = generate_uniform_table(
+        20_000,
+        {"low": 4, "mid": 12, "high": 64},
+        {"low": 0.3, "mid": 0.1, "high": 0.0},
+        seed=2006,
+    )
+    db = IncompleteDatabase(table)
+    db.create_index("bre", "bre", ["mid", "high"])
+    db.create_index("bee", "bee", ["low", "mid"])
+    queries = _workload(seed=327, pool_size=6, num_queries=60)
+
+    failures = 0
+    for semantics in MissingSemantics:
+        expected = [db.execute(q, semantics) for q in queries]
+        for parallel in (False, True):
+            reports = db.execute_batch(queries, semantics, parallel=parallel)
+            for position, (exp, got) in enumerate(zip(expected, reports)):
+                if not np.array_equal(exp.record_ids, got.record_ids):
+                    failures += 1
+                    print(
+                        f"FAIL: query {position} under {semantics.value} "
+                        f"(parallel={parallel}): batch returned "
+                        f"{got.num_matches} ids, sequential "
+                        f"{exp.num_matches}",
+                        file=sys.stderr,
+                    )
+
+    stats = db.sub_result_cache.stats()
+    print(
+        f"batch smoke: {len(queries)} queries x {len(MissingSemantics)} "
+        f"semantics x 2 modes; cache {stats.hits} hits / "
+        f"{stats.misses} misses (hit rate {stats.hit_rate:.0%})"
+    )
+    if stats.hits == 0:
+        failures += 1
+        print(
+            "FAIL: sub-result cache recorded zero hits on a "
+            "repeated-interval workload",
+            file=sys.stderr,
+        )
+    if failures:
+        print(f"batch smoke FAILED ({failures} problem(s))", file=sys.stderr)
+        return 1
+    print("batch smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -128,6 +128,7 @@ def load_bitmap_index(data: bytes) -> BitmapIndex:
     index = cls.__new__(cls)
     index._codec = codec
     index._nbits = num_records
+    index._generation = 0
     index._deleted = None
     index._alive_cache = None
     index._attrs = {}

@@ -180,35 +180,67 @@ class VAFile:
             quantizer.encode_value(interval.hi),
         )
 
+    def _interval_mask(
+        self,
+        name: str,
+        interval: Interval,
+        semantics: MissingSemantics,
+        stats: VaQueryStats | None,
+        counter: OpCounter | None,
+        shared_masks: dict | None = None,
+    ) -> np.ndarray:
+        """One dimension's approximate match mask, optionally memoized.
+
+        ``shared_masks`` is the batch executor's per-group memo: within one
+        batch every distinct ``(attribute, interval, semantics)`` scans the
+        stored codes once, and queries repeating it reuse the boolean mask
+        without re-touching the approximations (the reuse is what the
+        ``vafile.batch_mask_reuses`` counter tallies).
+        """
+        key = (name, interval.lo, interval.hi, semantics.value)
+        if shared_masks is not None:
+            cached = shared_masks.get(key)
+            if cached is not None:
+                if _obs_enabled():
+                    _obs_record("vafile.batch_mask_reuses")
+                return cached
+        codes = self.codes(name)
+        lo_code, hi_code = self._code_bounds(name, interval)
+        in_range = (codes >= lo_code) & (codes <= hi_code)
+        if semantics is MissingSemantics.IS_MATCH:
+            in_range |= codes == MISSING_CODE
+        if stats is not None:
+            stats.codes_scanned += len(codes)
+        if _obs_enabled():
+            _obs_record("vafile.codes_scanned", len(codes))
+        if counter is not None:
+            # Cost-model units: one item per approximation examined.
+            # This is the paper's own cross-technique currency — "the
+            # VA-file implementation had to operate over about 500,000
+            # vector approximations of the records, [while] the bitmap
+            # implementations performed bit operations over
+            # substantially fewer words" (Section 5.3).
+            counter.words_processed += len(codes)
+        if shared_masks is not None:
+            in_range.setflags(write=False)
+            shared_masks[key] = in_range
+        return in_range
+
     def candidate_mask(
         self,
         query: RangeQuery,
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         stats: VaQueryStats | None = None,
         counter: OpCounter | None = None,
+        shared_masks: dict | None = None,
     ) -> np.ndarray:
         """Phase 1: the approximate (no-false-dismissal) candidate set."""
         observing = _obs_enabled()
         mask = np.ones(self.num_records, dtype=bool)
         for name, interval in query.items():
-            codes = self.codes(name)
-            lo_code, hi_code = self._code_bounds(name, interval)
-            in_range = (codes >= lo_code) & (codes <= hi_code)
-            if semantics is MissingSemantics.IS_MATCH:
-                in_range |= codes == MISSING_CODE
-            mask &= in_range
-            if stats is not None:
-                stats.codes_scanned += len(codes)
-            if observing:
-                _obs_record("vafile.codes_scanned", len(codes))
-            if counter is not None:
-                # Cost-model units: one item per approximation examined.
-                # This is the paper's own cross-technique currency — "the
-                # VA-file implementation had to operate over about 500,000
-                # vector approximations of the records, [while] the bitmap
-                # implementations performed bit operations over
-                # substantially fewer words" (Section 5.3).
-                counter.words_processed += len(codes)
+            mask &= self._interval_mask(
+                name, interval, semantics, stats, counter, shared_masks
+            )
         if stats is not None or observing:
             candidates = int(mask.sum())
             if stats is not None:
@@ -223,10 +255,17 @@ class VAFile:
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         stats: VaQueryStats | None = None,
         counter: OpCounter | None = None,
+        shared_masks: dict | None = None,
     ) -> np.ndarray:
-        """Exact sorted record ids: scan then refine."""
+        """Exact sorted record ids: scan then refine.
+
+        ``shared_masks`` (a plain dict owned by the caller) lets a batch of
+        queries share the per-interval scan — see :meth:`_interval_mask`.
+        """
         with _trace_span("vafile.scan", dimensions=query.dimensionality):
-            mask = self.candidate_mask(query, semantics, stats, counter)
+            mask = self.candidate_mask(
+                query, semantics, stats, counter, shared_masks
+            )
         with _trace_span("vafile.refine"):
             exact = self._refine(mask, query, semantics, stats)
         _obs_record("vafile.queries")
