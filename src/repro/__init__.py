@@ -59,6 +59,17 @@ from repro.errors import (
     QueryError,
     ReproError,
     SchemaError,
+    ShardError,
+)
+from repro.shard import (
+    ContiguousPartitioner,
+    MissingDensityPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    ShardedDatabase,
+    ShardedQueryReport,
+    load_sharded,
+    save_sharded,
 )
 from repro.query import (
     And,
@@ -113,6 +124,15 @@ __all__ = [
     "ReproError",
     "Schema",
     "SchemaError",
+    "ShardError",
+    "ShardedDatabase",
+    "ShardedQueryReport",
+    "ContiguousPartitioner",
+    "MissingDensityPartitioner",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "load_sharded",
+    "save_sharded",
     "SubResultCache",
     "VAFile",
     "WahBitVector",

@@ -557,7 +557,17 @@ class BitmapIndex(abc.ABC):
     # -- size accounting -------------------------------------------------------
 
     def size_report(self) -> IndexSizeReport:
-        """Per-attribute and total size of the stored bitmaps."""
+        """Per-attribute and total size of the stored bitmaps.
+
+        Memoized per mutation generation: the planner costs every covering
+        bitmap index against every query it ranks, so recomputing per-bitmap
+        byte counts each time would make planning scale with index width
+        rather than O(attributes).  Any append/delete/compact bumps the
+        generation and invalidates the memo.
+        """
+        cached = getattr(self, "_size_report_cache", None)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
         verbatim_per_bitmap = (self._nbits + 7) // 8
         reports = tuple(
             AttributeSizeReport(
@@ -568,7 +578,9 @@ class BitmapIndex(abc.ABC):
             )
             for name, family in self._attrs.items()
         )
-        return IndexSizeReport(reports)
+        report = IndexSizeReport(reports)
+        self._size_report_cache = (self._generation, report)
+        return report
 
     def nbytes(self) -> int:
         """Total stored index size in bytes."""

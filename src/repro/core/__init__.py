@@ -6,6 +6,7 @@ from repro.core.engine import AttachedIndex, IncompleteDatabase, QueryReport
 from repro.core.planner import (
     BatchGroup,
     CostEstimate,
+    combine_shard_estimates,
     estimate_cost,
     plan_batch,
     rank_plans,
@@ -25,6 +26,7 @@ __all__ = [
     "SubResultCache",
     "TableStatistics",
     "WorkloadProfile",
+    "combine_shard_estimates",
     "estimate_cost",
     "plan_batch",
     "rank_plans",

@@ -227,6 +227,40 @@ class IncompleteDatabase:
         self._indexes[name] = attached
         return attached
 
+    def attach_index(
+        self,
+        name: str,
+        kind: str,
+        index: object,
+        attributes: Iterable[str] | None = None,
+        overwrite: bool = False,
+    ) -> AttachedIndex:
+        """Register an already-built index (e.g. one loaded from disk).
+
+        The storage layer (:mod:`repro.storage`, shard manifests) builds
+        index objects without going through :meth:`create_index`; this is
+        the hatch that registers them under a name.  The same uniqueness
+        and cache-invalidation rules as :meth:`create_index` apply.
+        """
+        if name in self._indexes and not overwrite:
+            raise ReproError(
+                f"an index named {name!r} already exists "
+                f"(pass overwrite=True to replace it)"
+            )
+        if kind not in _BUILDERS:
+            raise ReproError(
+                f"unknown index kind {kind!r}; expected one of {sorted(_BUILDERS)}"
+            )
+        attrs = (
+            tuple(attributes)
+            if attributes is not None
+            else tuple(getattr(index, "attributes", self._table.schema.names))
+        )
+        attached = AttachedIndex(name=name, kind=kind, index=index, attributes=attrs)
+        self._cache.invalidate(name)
+        self._indexes[name] = attached
+        return attached
+
     def drop_index(self, name: str) -> None:
         """Detach an index by name, dropping its cached sub-results."""
         if name not in self._indexes:
@@ -507,8 +541,6 @@ class IncompleteDatabase:
         max_workers:
             Thread-pool size cap when ``parallel=True``.
         """
-        from repro.core.planner import plan_batch
-
         normalized = [
             q if isinstance(q, RangeQuery) else RangeQuery.from_bounds(q)
             for q in queries
@@ -520,7 +552,6 @@ class IncompleteDatabase:
         else:
             sub_cache = cache
         planned: list[tuple] = []
-        chosen_names: list[str | None] = []
         for query in normalized:
             if using is not None:
                 chosen = self.get_index(using)
@@ -539,8 +570,40 @@ class IncompleteDatabase:
                         None,
                     )
                 planned.append((chosen, estimate, False))
-            chosen_names.append(chosen.name if chosen is not None else None)
-        groups = plan_batch(normalized, chosen_names)
+        reports = self._run_planned_batch(
+            normalized, planned, semantics, trace, sub_cache, parallel,
+            max_workers,
+        )
+        if obs.enabled():
+            obs.record("engine.batches")
+            obs.record("engine.batch_queries", len(normalized))
+        return reports
+
+    def _run_planned_batch(
+        self,
+        normalized: Sequence[RangeQuery],
+        planned: Sequence[tuple],
+        semantics: MissingSemantics,
+        trace: bool,
+        sub_cache: SubResultCache | None,
+        parallel: bool = False,
+        max_workers: int | None = None,
+    ) -> list[QueryReport]:
+        """Run pre-planned queries grouped per index (batch back half).
+
+        Shared by :meth:`execute_batch` and the sharded scatter-gather path
+        (:class:`repro.shard.ShardedDatabase` plans once against merged
+        statistics, then hands each shard its slice of pre-planned work).
+        ``planned[i]`` is the ``(chosen, estimate, forced)`` triple for
+        ``normalized[i]``; reports come back in submission order.
+        """
+        from repro.core.planner import plan_batch
+
+        chosen_names = [
+            chosen.name if chosen is not None else None
+            for chosen, _, _ in planned
+        ]
+        groups = plan_batch(list(normalized), chosen_names)
         reports: list[QueryReport | None] = [None] * len(normalized)
 
         def run_group(group) -> None:
@@ -566,9 +629,6 @@ class IncompleteDatabase:
         else:
             for group in groups:
                 run_group(group)
-        if obs.enabled():
-            obs.record("engine.batches")
-            obs.record("engine.batch_queries", len(normalized))
         return reports
 
     def query(
@@ -675,4 +735,10 @@ class IncompleteDatabase:
         scans = self._query_counts.get("<scan>", 0)
         if scans:
             lines.append(f"  sequential scans: {scans}")
+        stats = self._cache.stats()
+        lines.append(
+            f"  sub-result cache: {stats.entries} entries, "
+            f"{stats.bytes} bytes, hit rate {stats.hit_rate:.1%} "
+            f"({stats.hits} hits / {stats.misses} misses)"
+        )
         return "\n".join(lines)

@@ -15,6 +15,7 @@ encodings evolve.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.bitmap.base import BitmapIndex
 from repro.errors import PlanningError
@@ -36,16 +37,29 @@ class CostEstimate:
     detail: str
 
 
+def _covering_hint(available: Sequence[str] | None) -> str:
+    """Render the covering-index part of an uncovered-attribute error."""
+    if available is None:
+        return ""
+    if not available:
+        return "; no attached index covers it"
+    return f"; covering indexes available: {sorted(available)}"
+
+
 def estimate_bitmap_cost(
     index: BitmapIndex,
     query: RangeQuery,
     semantics: MissingSemantics,
+    available: Sequence[str] | None = None,
 ) -> tuple[float, str]:
     """Estimated words processed by a bitmap index for ``query``.
 
     Bitvectors touched per interval come from the encoding's own
     ``bitmaps_for_interval``; each touched bitvector is costed at the
     attribute's average stored bitmap size (compressed words).
+    ``available`` names the attached indexes that *do* cover the query, so
+    an uncovered-attribute :class:`PlanningError` can tell the caller where
+    to send the query instead.
     """
     report = {r.attribute: r for r in index.size_report().per_attribute}
     total_words = 0.0
@@ -57,6 +71,7 @@ def estimate_bitmap_cost(
                 f"cannot cost a {index.encoding} bitmap plan: the index does "
                 f"not cover query attribute {name!r} "
                 f"(covers {sorted(report)})"
+                f"{_covering_hint(available)}"
             )
         touched = index.bitmaps_for_interval(name, interval, semantics)
         if attr_report.num_bitmaps:
@@ -78,13 +93,16 @@ def estimate_vafile_cost(
     vafile: VAFile,
     query: RangeQuery,
     semantics: MissingSemantics,
+    available: Sequence[str] | None = None,
 ) -> tuple[float, str]:
     """Estimated approximations processed by a VA-file for ``query``."""
     uncovered = set(query.attributes) - set(vafile.attributes)
     if uncovered:
         raise PlanningError(
             f"cannot cost a VA-file plan: the file does not cover query "
-            f"attributes {sorted(uncovered)}"
+            f"attributes {sorted(uncovered)} "
+            f"(covers {sorted(vafile.attributes)})"
+            f"{_covering_hint(available)}"
         )
     items = float(vafile.num_records * query.dimensionality)
     return items, (
@@ -96,13 +114,14 @@ def estimate_cost(
     attached,
     query: RangeQuery,
     semantics: MissingSemantics,
+    available: Sequence[str] | None = None,
 ) -> CostEstimate | None:
     """Cost estimate for one attached index, or None when not costable."""
     index = attached.index
     if isinstance(index, BitmapIndex):
-        items, detail = estimate_bitmap_cost(index, query, semantics)
+        items, detail = estimate_bitmap_cost(index, query, semantics, available)
     elif isinstance(index, VAFile):
-        items, detail = estimate_vafile_cost(index, query, semantics)
+        items, detail = estimate_vafile_cost(index, query, semantics, available)
     else:
         return None
     return CostEstimate(
@@ -122,12 +141,16 @@ def rank_plans(
     pass an unfiltered index list without tripping the cost model's
     coverage check.
     """
-    estimates = []
+    covering = []
     for attached in candidates:
         covers = getattr(attached, "covers", None)
         if covers is not None and not covers(query):
             continue
-        estimate = estimate_cost(attached, query, semantics)
+        covering.append(attached)
+    available = [getattr(c, "name", "?") for c in covering]
+    estimates = []
+    for attached in covering:
+        estimate = estimate_cost(attached, query, semantics, available)
         if estimate is not None:
             estimates.append(estimate)
     estimates.sort(key=lambda e: e.items)
@@ -196,3 +219,54 @@ def plan_batch(
         _obs_record("planner.batches")
         _obs_record("planner.batch_groups", len(groups))
     return groups
+
+
+# -- shard planning ----------------------------------------------------------
+
+
+def combine_shard_estimates(
+    per_shard: Sequence[Sequence[CostEstimate]],
+) -> list[CostEstimate]:
+    """Merge per-shard plan rankings into whole-database estimates.
+
+    Every shard of a :class:`~repro.shard.ShardedDatabase` carries the same
+    index names over its own row slice; the cost of serving a query with
+    index ``x`` on the whole database is the *sum* of shard ``x`` costs
+    (shards execute independently and their work does not overlap).  Only
+    index names costable on **every** shard are merged — an index that some
+    shard cannot cost has no whole-database plan.  Result is cheapest
+    first, the same contract as :func:`rank_plans`.
+    """
+    if not per_shard:
+        return []
+    sums: dict[str, CostEstimate] = {}
+    counts: dict[str, int] = {}
+    for plans in per_shard:
+        for plan in plans:
+            counts[plan.index_name] = counts.get(plan.index_name, 0) + 1
+            seen = sums.get(plan.index_name)
+            if seen is None:
+                sums[plan.index_name] = plan
+            else:
+                sums[plan.index_name] = CostEstimate(
+                    index_name=plan.index_name,
+                    kind=plan.kind,
+                    items=seen.items + plan.items,
+                    detail=seen.detail,
+                )
+    num_shards = len(per_shard)
+    merged = [
+        CostEstimate(
+            index_name=name,
+            kind=estimate.kind,
+            items=estimate.items,
+            detail=f"sum over {num_shards} shards",
+        )
+        for name, estimate in sums.items()
+        if counts[name] == num_shards
+    ]
+    merged.sort(key=lambda e: e.items)
+    if _obs_enabled():
+        _obs_record("planner.shard_rankings")
+        _obs_record("planner.shard_plans_merged", len(merged))
+    return merged

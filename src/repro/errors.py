@@ -40,3 +40,7 @@ class PlanningError(ReproError):
 
 class CorruptIndexError(ReproError):
     """A serialized index or compressed bitvector failed to decode."""
+
+
+class ShardError(ReproError):
+    """A sharded database is misconfigured or a shard manifest is invalid."""

@@ -19,13 +19,15 @@ from typing import Callable
 
 from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4_batch
+from repro.experiments.fig4_sharded import run_fig4_sharded
 from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
 from repro.experiments.realdata import run_real_compression, run_real_query_time
 
 _SCALES = {
-    "ci": {"records": 30_000, "queries": 50, "census": 30_000, "rtree": 8_000},
+    "ci": {"records": 30_000, "queries": 50, "census": 30_000, "rtree": 8_000,
+           "sharded": 150_000},
     "paper": {"records": 100_000, "queries": 100, "census": 100_000,
-              "rtree": 20_000},
+              "rtree": 20_000, "sharded": 300_000},
 }
 
 
@@ -38,6 +40,10 @@ def _experiments(scale: dict) -> dict[str, Callable[[], object]]:
         "fig4b": lambda: run_fig4b(num_records=scale["records"]),
         "fig4-batch": lambda: run_fig4_batch(
             num_records=scale["records"], num_queries=scale["queries"] * 2
+        ),
+        "fig4-sharded": lambda: run_fig4_sharded(
+            num_records=scale["sharded"],
+            num_queries=scale["queries"],
         ),
         "fig5a": lambda: run_fig5a(
             num_records=scale["records"], num_queries=scale["queries"]

@@ -1,0 +1,126 @@
+"""CI smoke check for the sharded scatter-gather subsystem.
+
+Runs a mixed workload through :class:`~repro.shard.ShardedDatabase` for
+every partitioner, under both missing-data semantics, via both ``execute``
+and ``execute_batch``, and fails loudly if
+
+* any sharded result diverges from the unsharded engine's (the merge must
+  be bit-identical), or
+* the run records zero parallel fan-outs or zero fan-out tasks — the
+  worker-pool path must actually execute, so zero means the fan-out
+  silently degraded to something else.
+
+Usage (what ``.github/workflows/ci.yml`` runs)::
+
+    PYTHONPATH=src python -m repro.experiments.shard_smoke
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro.core.engine import IncompleteDatabase
+from repro.dataset.reorder import lexicographic_order
+from repro.dataset.synthetic import generate_uniform_table
+from repro.observability import use_registry
+from repro.query.model import MissingSemantics, RangeQuery
+from repro.shard.partition import PARTITIONERS
+from repro.shard.sharded import ShardedDatabase
+
+
+def _workload(seed: int, num_queries: int) -> list[RangeQuery]:
+    rng = np.random.default_rng(seed)
+    queries = []
+    for _ in range(num_queries):
+        lo = int(rng.integers(1, 28))
+        hi = min(30, lo + int(rng.integers(0, 4)))
+        lo2 = int(rng.integers(1, 10))
+        hi2 = min(12, lo2 + int(rng.integers(0, 6)))
+        queries.append(RangeQuery.from_bounds({"a": (lo, hi), "b": (lo2, hi2)}))
+    return queries
+
+
+def main(argv: list[str] | None = None) -> int:
+    table = generate_uniform_table(
+        12_000, {"a": 30, "b": 12}, {"a": 0.1, "b": 0.25}, seed=2006
+    )
+    table = table.take(lexicographic_order(table, ["a"]))
+    queries = _workload(seed=17, num_queries=24)
+
+    unsharded = IncompleteDatabase(table)
+    unsharded.create_index("ix", "bre")
+    expected = {
+        semantics: [unsharded.execute(q, semantics) for q in queries]
+        for semantics in MissingSemantics
+    }
+
+    failures = 0
+    with use_registry() as registry:
+        for partitioner in sorted(PARTITIONERS):
+            with ShardedDatabase(
+                table, num_shards=4, partitioner=partitioner
+            ) as db:
+                db.create_index("ix", "bre")
+                for semantics in MissingSemantics:
+                    for position, query in enumerate(queries):
+                        got = db.execute(query, semantics)
+                        exp = expected[semantics][position]
+                        if not np.array_equal(
+                            got.record_ids, exp.record_ids
+                        ):
+                            failures += 1
+                            print(
+                                f"FAIL: {partitioner} execute, query "
+                                f"{position} under {semantics.value}: "
+                                f"sharded {got.num_matches} ids, "
+                                f"unsharded {exp.num_matches}",
+                                file=sys.stderr,
+                            )
+                    batch = db.execute_batch(queries, semantics)
+                    for position, (exp, got) in enumerate(
+                        zip(expected[semantics], batch)
+                    ):
+                        if not np.array_equal(
+                            got.record_ids, exp.record_ids
+                        ):
+                            failures += 1
+                            print(
+                                f"FAIL: {partitioner} execute_batch, "
+                                f"query {position} under "
+                                f"{semantics.value}: sharded "
+                                f"{got.num_matches} ids, unsharded "
+                                f"{exp.num_matches}",
+                                file=sys.stderr,
+                            )
+        snapshot = registry.snapshot()
+
+    counters = snapshot.counters
+    parallel_fanouts = counters.get("shard.parallel_fanouts", 0)
+    fanout_tasks = counters.get("shard.fanout_tasks", 0)
+    print(
+        f"shard smoke: {len(queries)} queries x {len(MissingSemantics)} "
+        f"semantics x {len(PARTITIONERS)} partitioners; "
+        f"{parallel_fanouts} parallel fan-outs, {fanout_tasks} fan-out "
+        f"tasks, {counters.get('shard.pruned', 0)} shard prunes"
+    )
+    if parallel_fanouts == 0:
+        failures += 1
+        print(
+            "FAIL: zero parallel fan-outs recorded — the worker-pool path "
+            "never ran",
+            file=sys.stderr,
+        )
+    if fanout_tasks == 0:
+        failures += 1
+        print("FAIL: zero fan-out tasks recorded", file=sys.stderr)
+    if failures:
+        print(f"shard smoke FAILED ({failures} problem(s))", file=sys.stderr)
+        return 1
+    print("shard smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,37 @@
+"""Partitioned storage and scatter-gather execution for incomplete tables.
+
+See :mod:`repro.shard.sharded` for the execution model, and
+``docs/sharding.md`` for the manifest format and partitioner guide.
+"""
+
+from repro.shard.manifest import MANIFEST_NAME, load_sharded, save_sharded
+from repro.shard.partition import (
+    PARTITIONERS,
+    ContiguousPartitioner,
+    MissingDensityPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+    ShardAssignment,
+    get_partitioner,
+)
+from repro.shard.sharded import (
+    ShardedDatabase,
+    ShardedQueryReport,
+    ShardReportSlice,
+)
+
+__all__ = [
+    "ContiguousPartitioner",
+    "MANIFEST_NAME",
+    "MissingDensityPartitioner",
+    "PARTITIONERS",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "ShardAssignment",
+    "ShardReportSlice",
+    "ShardedDatabase",
+    "ShardedQueryReport",
+    "get_partitioner",
+    "load_sharded",
+    "save_sharded",
+]

@@ -1,0 +1,221 @@
+"""Persist and restore a :class:`~repro.shard.ShardedDatabase`.
+
+Layout on disk (all paths relative to the manifest's directory)::
+
+    manifest.json           -- format tag, schema, shard + index catalog
+    shard-0/rows.npy        -- global record ids owned by shard 0 (int64)
+    shard-0/table.npz       -- shard 0's row slice (repro.dataset.io format)
+    shard-0/<index>.idx     -- one file per attached index (repro.storage)
+    shard-1/...
+
+``manifest.json`` is the source of truth: it names the partitioner, the
+full-table schema, and for every shard its row-id file, table file, and the
+``(name, kind, attributes, file)`` of each serialized index.  Only the
+serializable index kinds — the WAH/BBC bitmap encodings (``bee``, ``bre``,
+``bie``) and ``vafile`` — can be persisted; other kinds raise
+:class:`~repro.errors.ShardError` at save time so a manifest never goes out
+half-written with silently dropped indexes.
+
+Loading reverses the split exactly: shard tables and indexes are read back
+as serialized (so indexes stay aligned with the rows they were built over),
+and the full table is reconstructed by scattering each shard's columns
+through its saved global row ids.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.cache import DEFAULT_CACHE_BYTES
+from repro.dataset.io import load_table, save_table
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.table import IncompleteTable
+from repro.errors import ShardError
+from repro.shard.partition import ShardAssignment
+from repro.shard.sharded import ShardedDatabase
+from repro.storage.serialize import (
+    load_bitmap_index_file,
+    load_vafile_file,
+    save_bitmap_index,
+    save_vafile,
+)
+
+__all__ = ["MANIFEST_NAME", "load_sharded", "save_sharded"]
+
+MANIFEST_NAME = "manifest.json"
+_FORMAT = "repro-shard-manifest"
+_VERSION = 1
+
+#: Index kinds the manifest can persist, mapped to their writers.
+_BITMAP_KINDS = frozenset({"bee", "bre", "bie"})
+
+
+def _shard_dir(shard_id: int) -> str:
+    return f"shard-{shard_id}"
+
+
+def save_sharded(db: ShardedDatabase, directory: str | os.PathLike) -> Path:
+    """Write ``db`` (tables, row assignment, indexes) under ``directory``.
+
+    Returns the manifest path.  The directory is created if needed; existing
+    files are overwritten.  Raises :class:`ShardError` before writing
+    anything if some attached index kind cannot be serialized.
+    """
+    root = Path(directory)
+    for name in db.index_names:
+        kind = db._index_meta[name].kind
+        if kind not in _BITMAP_KINDS and kind != "vafile":
+            raise ShardError(
+                f"index {name!r} has kind {kind!r}, which cannot be "
+                f"serialized; persistable kinds are "
+                f"{sorted(_BITMAP_KINDS | {'vafile'})}"
+            )
+    root.mkdir(parents=True, exist_ok=True)
+    shard_entries = []
+    for shard in db.shards:
+        subdir = root / _shard_dir(shard.shard_id)
+        subdir.mkdir(exist_ok=True)
+        rows_rel = f"{_shard_dir(shard.shard_id)}/rows.npy"
+        table_rel = f"{_shard_dir(shard.shard_id)}/table.npz"
+        np.save(root / rows_rel, shard.global_ids.astype(np.int64))
+        save_table(shard.database.table, root / table_rel)
+        index_entries = []
+        for name in db.index_names:
+            attached = shard.database.get_index(name)
+            index_rel = f"{_shard_dir(shard.shard_id)}/{name}.idx"
+            if attached.kind in _BITMAP_KINDS:
+                save_bitmap_index(attached.index, root / index_rel)
+            else:
+                save_vafile(attached.index, root / index_rel)
+            index_entries.append({
+                "name": name,
+                "kind": attached.kind,
+                "attributes": list(attached.attributes),
+                "file": index_rel,
+            })
+        shard_entries.append({
+            "shard_id": shard.shard_id,
+            "num_records": shard.database.table.num_records,
+            "rows": rows_rel,
+            "table": table_rel,
+            "indexes": index_entries,
+        })
+    manifest = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "num_records": db.num_records,
+        "num_shards": db.num_shards,
+        "partitioner": db.partitioner_name,
+        "attributes": [
+            {"name": spec.name, "cardinality": spec.cardinality}
+            for spec in db.table.schema
+        ],
+        "shards": shard_entries,
+    }
+    manifest_path = root / MANIFEST_NAME
+    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    return manifest_path
+
+
+def load_sharded(
+    directory: str | os.PathLike,
+    parallel: bool = True,
+    max_workers: int | None = None,
+    cache_bytes: int = DEFAULT_CACHE_BYTES,
+) -> ShardedDatabase:
+    """Rebuild a :class:`ShardedDatabase` saved by :func:`save_sharded`."""
+    root = Path(directory)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise ShardError(f"no {MANIFEST_NAME} in {root}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ShardError(f"{manifest_path} is not valid JSON: {exc}")
+    if manifest.get("format") != _FORMAT:
+        raise ShardError(
+            f"{manifest_path}: unexpected format tag "
+            f"{manifest.get('format')!r}"
+        )
+    if manifest.get("version") != _VERSION:
+        raise ShardError(
+            f"{manifest_path}: unsupported manifest version "
+            f"{manifest.get('version')!r} (this build reads {_VERSION})"
+        )
+    num_records = int(manifest["num_records"])
+    schema = Schema(
+        AttributeSpec(entry["name"], int(entry["cardinality"]))
+        for entry in manifest["attributes"]
+    )
+    entries = sorted(manifest["shards"], key=lambda e: e["shard_id"])
+    rows_per_shard = []
+    shard_tables = []
+    for entry in entries:
+        rows = np.load(root / entry["rows"]).astype(np.int64)
+        shard_table = load_table(root / entry["table"])
+        if len(rows) != shard_table.num_records:
+            raise ShardError(
+                f"shard {entry['shard_id']}: {len(rows)} row ids but "
+                f"{shard_table.num_records} table rows"
+            )
+        if list(shard_table.schema.names) != [s.name for s in schema]:
+            raise ShardError(
+                f"shard {entry['shard_id']}: table schema disagrees with "
+                f"the manifest"
+            )
+        rows_per_shard.append(rows)
+        shard_tables.append(shard_table)
+    assignment = ShardAssignment(
+        partitioner=manifest["partitioner"],
+        num_records=num_records,
+        shards=tuple(rows_per_shard),
+    )
+    assignment.validate()
+    # Reassemble the full table by scattering shard columns through their
+    # global row ids; validate() above guarantees full coverage.
+    columns = {}
+    for spec in schema:
+        full = np.zeros(num_records, dtype=np.int64)
+        for rows, shard_table in zip(rows_per_shard, shard_tables):
+            full[rows] = shard_table.column(spec.name)
+        columns[spec.name] = full
+    table = IncompleteTable(schema, columns)
+    db = ShardedDatabase._restore(
+        table,
+        assignment,
+        shard_tables,
+        parallel=parallel,
+        max_workers=max_workers,
+        cache_bytes=cache_bytes,
+    )
+    for entry in entries:
+        shard = db.shards[entry["shard_id"]]
+        for index_entry in entry["indexes"]:
+            kind = index_entry["kind"]
+            path = root / index_entry["file"]
+            if kind in _BITMAP_KINDS:
+                index = load_bitmap_index_file(path)
+            elif kind == "vafile":
+                index = load_vafile_file(path, shard.database.table)
+            else:
+                raise ShardError(
+                    f"manifest names unloadable index kind {kind!r}"
+                )
+            shard.database.attach_index(
+                index_entry["name"],
+                kind,
+                index,
+                attributes=index_entry["attributes"],
+            )
+    for entry in entries[:1]:
+        for index_entry in entry["indexes"]:
+            db._attach_shard_indexes(
+                index_entry["name"],
+                index_entry["kind"],
+                index_entry["attributes"],
+            )
+    return db

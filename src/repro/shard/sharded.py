@@ -1,0 +1,827 @@
+"""Sharded incomplete database: scatter-gather over row-range shards.
+
+:class:`ShardedDatabase` partitions an
+:class:`~repro.dataset.table.IncompleteTable` into N row-range shards (see
+:mod:`repro.shard.partition`), owns one
+:class:`~repro.core.engine.IncompleteDatabase` per shard, and serves the
+same query API by scatter-gather:
+
+1. **Plan once.**  Per-shard plan rankings are merged with
+   :func:`repro.core.planner.combine_shard_estimates`, so the whole fan-out
+   executes one chosen index and no shard re-plans (or re-reads size
+   reports) per query.
+2. **Prune.**  Per-shard exact value histograms
+   (:class:`~repro.core.statistics.TableStatistics`) act as zone maps: a
+   shard whose histogram shows zero possible matches for some query
+   attribute is skipped entirely.  Histograms are exact, so pruning never
+   changes results — on clustered data (e.g. after
+   :func:`repro.dataset.reorder.lexicographic_order`) this is where the
+   sharded speedup comes from.
+3. **Fan out.**  Surviving shards evaluate on a worker-thread pool
+   (``parallel=False`` falls back to a sequential loop in the caller's
+   thread).  Worker exceptions re-raise unwrapped in the caller.
+4. **Merge.**  Per-shard local record ids map through each shard's
+   ``global_ids`` and concatenate; because shards partition the row space
+   and every access method returns ascending ids, one final sort makes the
+   result bit-identical to the unsharded database under both missing
+   semantics.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import observability as obs
+from repro.core.cache import DEFAULT_CACHE_BYTES, CacheStats
+from repro.core.engine import _PREFERENCE, IncompleteDatabase, QueryReport
+from repro.core.planner import CostEstimate, combine_shard_estimates, rank_plans
+from repro.dataset.table import IncompleteTable
+from repro.errors import QueryError, ReproError, ShardError
+from repro.query.model import MissingSemantics, RangeQuery
+from repro.shard.partition import Partitioner, get_partitioner
+
+__all__ = [
+    "ShardReportSlice",
+    "ShardedDatabase",
+    "ShardedQueryReport",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class ShardReportSlice:
+    """One shard's contribution to a sharded query."""
+
+    shard_id: int
+    #: True when the shard was skipped by statistics-based pruning.
+    pruned: bool
+    num_matches: int
+    elapsed_ns: int
+
+
+@dataclass(frozen=True, slots=True)
+class _IndexMeta:
+    """Shard-level record of a fanned-out index registration."""
+
+    kind: str
+    attributes: tuple[str, ...]
+
+    def covers(self, query: RangeQuery) -> bool:
+        return set(query.attributes) <= set(self.attributes)
+
+
+@dataclass(frozen=True)
+class ShardedQueryReport:
+    """Outcome of one scatter-gather query execution."""
+
+    index_name: str
+    kind: str
+    #: Global record ids, ascending — bit-identical to the unsharded result.
+    record_ids: np.ndarray = field(repr=False)
+    per_shard: tuple[ShardReportSlice, ...] = ()
+    trace: obs.QueryTrace | None = field(default=None, repr=False)
+    elapsed_ns: int | None = None
+
+    @property
+    def num_matches(self) -> int:
+        """Number of matching records across all shards."""
+        return len(self.record_ids)
+
+    @property
+    def num_pruned(self) -> int:
+        """How many shards the planner skipped outright."""
+        return sum(1 for s in self.per_shard if s.pruned)
+
+    @property
+    def skew(self) -> float:
+        """Max over mean executed-shard latency (1.0 = perfectly even)."""
+        executed = [s.elapsed_ns for s in self.per_shard if not s.pruned]
+        if not executed:
+            return 0.0
+        mean = sum(executed) / len(executed)
+        if mean == 0:
+            return 0.0
+        return max(executed) / mean
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedQueryReport(index={self.index_name!r}, "
+            f"matches={self.num_matches}, shards={len(self.per_shard)}, "
+            f"pruned={self.num_pruned})"
+        )
+
+
+class _Shard:
+    """One shard: its global row ids and the database over its row slice."""
+
+    __slots__ = ("shard_id", "global_ids", "database")
+
+    def __init__(
+        self,
+        shard_id: int,
+        global_ids: np.ndarray,
+        database: IncompleteDatabase,
+    ):
+        self.shard_id = shard_id
+        self.global_ids = global_ids
+        self.database = database
+
+    def to_global(self, local_ids: np.ndarray) -> np.ndarray:
+        """Map shard-local record ids back to global ids."""
+        return self.global_ids[np.asarray(local_ids, dtype=np.int64)]
+
+
+class ShardedDatabase:
+    """N-shard partitioned :class:`IncompleteDatabase` with scatter-gather.
+
+    Parameters
+    ----------
+    table:
+        The full table.  Rows are split by ``partitioner`` and each shard
+        gets its own :class:`IncompleteDatabase` (and therefore its own
+        namespaced sub-result cache).
+    num_shards:
+        How many shards to create (``>= 1``; 1 shard degenerates to the
+        unsharded engine plus the scatter-gather bookkeeping).
+    partitioner:
+        A :class:`~repro.shard.partition.Partitioner` instance or registry
+        name (``"contiguous"``, ``"round-robin"``, ``"missing-density"``).
+    parallel:
+        Fan shard evaluation out over a worker-thread pool.  ``False``
+        evaluates shards sequentially in the caller's thread.
+    max_workers:
+        Pool size; defaults to ``min(num_shards, 32)``.
+    cache_bytes:
+        Per-shard sub-result cache budget.
+    """
+
+    def __init__(
+        self,
+        table: IncompleteTable,
+        num_shards: int = 4,
+        partitioner: str | Partitioner = "contiguous",
+        parallel: bool = True,
+        max_workers: int | None = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ):
+        self._table = table
+        self._partitioner = get_partitioner(partitioner)
+        self._assignment = self._partitioner.partition(table, num_shards)
+        self._parallel = parallel
+        self._max_workers = max_workers or min(
+            self._assignment.num_shards, 32
+        )
+        self._shards: list[_Shard] = [
+            _Shard(
+                shard_id,
+                ids,
+                IncompleteDatabase(table.take(ids), cache_bytes=cache_bytes),
+            )
+            for shard_id, ids in enumerate(self._assignment.shards)
+        ]
+        self._index_meta: dict[str, _IndexMeta] = {}
+        self._plan_memo: dict[tuple, tuple] = {}
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    @classmethod
+    def _restore(
+        cls,
+        table: IncompleteTable,
+        assignment,
+        shard_tables,
+        parallel: bool = True,
+        max_workers: int | None = None,
+        cache_bytes: int = DEFAULT_CACHE_BYTES,
+    ) -> "ShardedDatabase":
+        """Rebuild from a persisted assignment (see :mod:`repro.shard.manifest`).
+
+        ``shard_tables`` are the per-shard tables exactly as serialized —
+        using them instead of re-slicing keeps loaded indexes aligned with
+        the rows they were built over.
+        """
+        self = cls.__new__(cls)
+        self._table = table
+        self._partitioner = None
+        self._assignment = assignment
+        self._parallel = parallel
+        self._max_workers = max_workers or min(assignment.num_shards, 32)
+        self._shards = [
+            _Shard(
+                shard_id,
+                ids,
+                IncompleteDatabase(shard_table, cache_bytes=cache_bytes),
+            )
+            for shard_id, (ids, shard_table) in enumerate(
+                zip(assignment.shards, shard_tables)
+            )
+        ]
+        self._index_meta = {}
+        self._plan_memo = {}
+        self._pool = None
+        self._closed = False
+        return self
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def table(self) -> IncompleteTable:
+        """The full (unsharded) table."""
+        return self._table
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    @property
+    def num_records(self) -> int:
+        """Total records across all shards."""
+        return self._table.num_records
+
+    @property
+    def partitioner_name(self) -> str:
+        """Registry name of the partitioner that built the shards."""
+        return self._assignment.partitioner
+
+    @property
+    def shards(self) -> tuple[_Shard, ...]:
+        """The shard holders, in shard-id order (read-only view)."""
+        return tuple(self._shards)
+
+    def close(self) -> None:
+        """Shut down the fan-out worker pool (idempotent)."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedDatabase({self.num_records} records, "
+            f"{self.num_shards} shards via {self.partitioner_name!r}, "
+            f"indexes={sorted(self._index_meta)})"
+        )
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise ShardError("this ShardedDatabase has been closed")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-shard",
+            )
+        return self._pool
+
+    # -- index management ------------------------------------------------------
+
+    def create_index(
+        self,
+        name: str,
+        kind: str,
+        attributes=None,
+        overwrite: bool = False,
+        **options,
+    ) -> None:
+        """Build the same index on every shard (same name, kind, options)."""
+        attached = None
+        for shard in self._shards:
+            attached = shard.database.create_index(
+                name, kind, attributes, overwrite=overwrite, **options
+            )
+        self._index_meta[name] = _IndexMeta(
+            kind=attached.kind, attributes=attached.attributes
+        )
+        self._plan_memo.clear()
+
+    def drop_index(self, name: str) -> None:
+        """Detach an index from every shard."""
+        if name not in self._index_meta:
+            raise ReproError(f"no index named {name!r}")
+        for shard in self._shards:
+            shard.database.drop_index(name)
+        del self._index_meta[name]
+        self._plan_memo.clear()
+
+    def _attach_shard_indexes(self, name: str, kind: str, attributes) -> None:
+        """Record an index registered shard-by-shard (manifest loader)."""
+        self._index_meta[name] = _IndexMeta(
+            kind=kind, attributes=tuple(attributes)
+        )
+        self._plan_memo.clear()
+
+    @property
+    def index_names(self) -> list[str]:
+        """Names of the fanned-out indexes, sorted."""
+        return sorted(self._index_meta)
+
+    # -- planning --------------------------------------------------------------
+
+    def _plan_sharded(
+        self, query: RangeQuery, semantics: MissingSemantics
+    ) -> tuple[str | None, list[CostEstimate], list[CostEstimate | None]]:
+        """Whole-database plan: (chosen name, merged ranking, per-shard picks).
+
+        Per-shard rankings are merged with
+        :func:`~repro.core.planner.combine_shard_estimates`; when no index
+        is costable on every shard the engine's static preference order
+        breaks the tie, and with no covering index at all the scan fallback
+        (``None``) is chosen.  Memoized per ``(query, semantics)`` until the
+        index set changes.
+        """
+        key = (query, semantics)
+        memo = self._plan_memo.get(key)
+        if memo is not None:
+            return memo
+        covering = [
+            name
+            for name, meta in self._index_meta.items()
+            if meta.covers(query)
+        ]
+        if not covering:
+            result = (None, [], [None] * self.num_shards)
+            self._plan_memo[key] = result
+            return result
+        per_shard_rankings = [
+            rank_plans(
+                [shard.database.get_index(n) for n in covering],
+                query,
+                semantics,
+            )
+            for shard in self._shards
+        ]
+        merged = combine_shard_estimates(per_shard_rankings)
+        if merged:
+            chosen = merged[0].index_name
+        else:
+            rank = {kind: pos for pos, kind in enumerate(_PREFERENCE)}
+            chosen = min(
+                covering,
+                key=lambda n: rank.get(
+                    self._index_meta[n].kind, len(rank)
+                ),
+            )
+        per_shard_estimates: list[CostEstimate | None] = [
+            next((p for p in plans if p.index_name == chosen), None)
+            for plans in per_shard_rankings
+        ]
+        if len(self._plan_memo) > 4096:
+            self._plan_memo.clear()
+        result = (chosen, merged, per_shard_estimates)
+        self._plan_memo[key] = result
+        return result
+
+    def _resolve_plan(
+        self,
+        query: RangeQuery,
+        semantics: MissingSemantics,
+        using: str | None,
+    ) -> tuple[str | None, bool, list[CostEstimate | None]]:
+        """Chosen index name, forced flag, per-shard cost estimates."""
+        if using is not None:
+            meta = self._index_meta.get(using)
+            if meta is None:
+                raise ReproError(f"no index named {using!r}")
+            if not meta.covers(query):
+                raise QueryError(
+                    f"index {using!r} does not cover attributes "
+                    f"{sorted(set(query.attributes) - set(meta.attributes))}"
+                )
+            return using, True, [None] * self.num_shards
+        chosen, _, per_shard = self._plan_sharded(query, semantics)
+        return chosen, False, per_shard
+
+    # -- pruning ---------------------------------------------------------------
+
+    def _shard_can_match(
+        self,
+        shard: _Shard,
+        query: RangeQuery,
+        semantics: MissingSemantics,
+    ) -> bool:
+        """Exact zone-map check: can this shard contain any match?
+
+        A shard is prunable when, for some query attribute, its exact value
+        histogram shows zero records inside the interval (plus zero missing
+        records under ``missing-is-a-match``).  Out-of-domain or unknown
+        attributes are never pruned, so invalid queries surface the same
+        :class:`~repro.errors.DomainError` / :class:`~repro.errors.QueryError`
+        the unsharded engine raises.
+        """
+        statistics = shard.database.statistics
+        for name, interval in query.items():
+            try:
+                attr = statistics.attribute(name)
+            except Exception:
+                return True
+            if interval.lo < 1 or interval.hi > attr.cardinality:
+                return True
+            possible = int(attr.counts[interval.lo : interval.hi + 1].sum())
+            if semantics is MissingSemantics.IS_MATCH:
+                possible += int(attr.counts[0])
+            if possible == 0:
+                return False
+        return True
+
+    # -- execution -------------------------------------------------------------
+
+    @staticmethod
+    def _normalize(query) -> RangeQuery:
+        return (
+            query
+            if isinstance(query, RangeQuery)
+            else RangeQuery.from_bounds(query)
+        )
+
+    def _fan_out(self, tasks):
+        """Run shard task thunks, in parallel when configured.
+
+        Returns results in task order.  Worker exceptions (including
+        :class:`~repro.errors.PlanningError`) re-raise unwrapped in the
+        caller's thread — ``Future.result()`` propagates the original
+        exception object.
+        """
+        observing = obs.enabled()
+        if self._parallel and len(tasks) > 1:
+            pool = self._executor()
+            futures = [pool.submit(task) for task in tasks]
+            results = [future.result() for future in futures]
+            if observing:
+                obs.record("shard.parallel_fanouts")
+        else:
+            results = [task() for task in tasks]
+            if observing:
+                obs.record("shard.sequential_fanouts")
+        if observing:
+            obs.record("shard.fanout_tasks", len(tasks))
+        return results
+
+    def execute(
+        self,
+        query,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+        trace: bool = False,
+    ) -> ShardedQueryReport:
+        """Scatter-gather execution of one query.
+
+        Plans once against the merged shard statistics, prunes shards whose
+        histograms rule out any match, fans the survivors out, and merges
+        local ids back into one ascending global id array.  With
+        ``trace=True`` the report carries a root span whose children are the
+        per-shard query traces (one subtree per executed shard, tagged with
+        its shard id).
+        """
+        query = self._normalize(query)
+        start = time.perf_counter_ns()
+        observing = obs.enabled()
+        qtrace = (
+            obs.QueryTrace(
+                "sharded_query",
+                query=repr(query),
+                semantics=semantics.value,
+                shards=self.num_shards,
+            )
+            if trace
+            else None
+        )
+        plan_start = time.perf_counter_ns()
+        chosen, forced, per_shard_estimates = self._resolve_plan(
+            query, semantics, using
+        )
+        survivors: list[_Shard] = []
+        pruned_ids: list[int] = []
+        for shard in self._shards:
+            if self._shard_can_match(shard, query, semantics):
+                survivors.append(shard)
+            else:
+                pruned_ids.append(shard.shard_id)
+        if qtrace is not None:
+            with qtrace.span("plan") as plan_span:
+                plan_span.start_ns = plan_start
+                plan_span.set("chosen", chosen if chosen else "<scan>")
+                plan_span.set("forced", forced)
+                plan_span.set("pruned_shards", pruned_ids)
+        if observing:
+            obs.record("shard.queries")
+            obs.record("shard.pruned", len(pruned_ids))
+
+        def run(shard: _Shard):
+            if chosen is None:
+                planned = (None, None, False)
+            else:
+                planned = (
+                    shard.database.get_index(chosen),
+                    per_shard_estimates[shard.shard_id],
+                    forced,
+                )
+            return shard.database._execute_query(
+                query,
+                semantics,
+                using=None,
+                trace=trace,
+                planned=planned,
+            )
+
+        fan_start = time.perf_counter_ns()
+        reports = self._fan_out(
+            [(lambda s=shard: run(s)) for shard in survivors]
+        )
+        fan_ns = time.perf_counter_ns() - fan_start
+        merge_start = time.perf_counter_ns()
+        parts = [
+            shard.to_global(report.record_ids)
+            for shard, report in zip(survivors, reports)
+        ]
+        if parts:
+            merged = np.sort(np.concatenate(parts))
+        else:
+            merged = np.empty(0, dtype=np.int64)
+        merge_ns = time.perf_counter_ns() - merge_start
+
+        slices = {
+            shard_id: ShardReportSlice(shard_id, True, 0, 0)
+            for shard_id in pruned_ids
+        }
+        for shard, report in zip(survivors, reports):
+            slices[shard.shard_id] = ShardReportSlice(
+                shard.shard_id,
+                False,
+                report.num_matches,
+                report.elapsed_ns or 0,
+            )
+            if qtrace is not None and report.trace is not None:
+                report.trace.root.set("shard", shard.shard_id)
+                qtrace.root.children.append(report.trace.root)
+        per_shard = tuple(
+            slices[shard_id] for shard_id in sorted(slices)
+        )
+        elapsed_ns = time.perf_counter_ns() - start
+        if observing:
+            obs.observe("shard.fanout_ns", fan_ns)
+            obs.observe("shard.merge_ns", merge_ns)
+            for report in reports:
+                if report.elapsed_ns is not None:
+                    obs.observe("shard.task_ns", report.elapsed_ns)
+        result = ShardedQueryReport(
+            index_name=chosen if chosen else "<scan>",
+            kind=(
+                self._index_meta[chosen].kind if chosen else "scan"
+            ),
+            record_ids=merged,
+            per_shard=per_shard,
+            trace=qtrace,
+            elapsed_ns=elapsed_ns,
+        )
+        if observing:
+            obs.observe("shard.skew", result.skew)
+        if qtrace is not None:
+            qtrace.root.set("index", result.index_name)
+            qtrace.root.set("matches", result.num_matches)
+            qtrace.root.set("pruned", len(pruned_ids))
+            qtrace.close()
+        return result
+
+    def execute_batch(
+        self,
+        queries,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+        trace: bool = False,
+    ) -> list[ShardedQueryReport]:
+        """Scatter-gather execution of a workload.
+
+        Every distinct query is planned once at the sharded level; each
+        shard then runs its surviving (un-pruned) slice of the workload
+        through the engine's grouped batch executor with that shard's own
+        sub-result cache, and per-query results merge back in submission
+        order.
+        """
+        normalized = [self._normalize(q) for q in queries]
+        observing = obs.enabled()
+        plans = {}
+        for query in normalized:
+            if query not in plans:
+                plans[query] = self._resolve_plan(query, semantics, using)
+        prunable = {}
+        for query in plans:
+            prunable[query] = [
+                not self._shard_can_match(shard, query, semantics)
+                for shard in self._shards
+            ]
+
+        def run(shard: _Shard):
+            positions = [
+                pos
+                for pos, query in enumerate(normalized)
+                if not prunable[query][shard.shard_id]
+            ]
+            if not positions:
+                return positions, []
+            sub_queries = [normalized[pos] for pos in positions]
+            sub_planned = []
+            for query in sub_queries:
+                chosen, forced, per_shard_estimates = plans[query]
+                if chosen is None:
+                    sub_planned.append((None, None, False))
+                else:
+                    sub_planned.append((
+                        shard.database.get_index(chosen),
+                        per_shard_estimates[shard.shard_id],
+                        forced,
+                    ))
+            reports = shard.database._run_planned_batch(
+                sub_queries,
+                sub_planned,
+                semantics,
+                trace,
+                shard.database.sub_result_cache,
+            )
+            return positions, reports
+
+        fan_start = time.perf_counter_ns()
+        shard_results = self._fan_out(
+            [(lambda s=shard: run(s)) for shard in self._shards]
+        )
+        fan_ns = time.perf_counter_ns() - fan_start
+
+        parts: list[list[np.ndarray]] = [[] for _ in normalized]
+        slices: list[dict[int, ShardReportSlice]] = [
+            {} for _ in normalized
+        ]
+        for shard, (positions, reports) in zip(
+            self._shards, shard_results
+        ):
+            for pos, report in zip(positions, reports):
+                parts[pos].append(shard.to_global(report.record_ids))
+                slices[pos][shard.shard_id] = ShardReportSlice(
+                    shard.shard_id,
+                    False,
+                    report.num_matches,
+                    report.elapsed_ns or 0,
+                )
+        out: list[ShardedQueryReport] = []
+        for pos, query in enumerate(normalized):
+            chosen, _, _ = plans[query]
+            for shard_id, was_pruned in enumerate(prunable[query]):
+                if was_pruned:
+                    slices[pos][shard_id] = ShardReportSlice(
+                        shard_id, True, 0, 0
+                    )
+            if parts[pos]:
+                merged = np.sort(np.concatenate(parts[pos]))
+            else:
+                merged = np.empty(0, dtype=np.int64)
+            out.append(
+                ShardedQueryReport(
+                    index_name=chosen if chosen else "<scan>",
+                    kind=(
+                        self._index_meta[chosen].kind
+                        if chosen
+                        else "scan"
+                    ),
+                    record_ids=merged,
+                    per_shard=tuple(
+                        slices[pos][sid] for sid in sorted(slices[pos])
+                    ),
+                )
+            )
+        if observing:
+            obs.record("shard.batches")
+            obs.record("shard.batch_queries", len(normalized))
+            obs.observe("shard.fanout_ns", fan_ns)
+            total_pruned = sum(
+                sum(flags) for flags in prunable.values()
+            )
+            obs.record("shard.pruned", total_pruned)
+        return out
+
+    # -- conveniences ----------------------------------------------------------
+
+    def query(
+        self,
+        query,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> ShardedQueryReport:
+        """Alias of :meth:`execute` without tracing."""
+        return self.execute(query, semantics, using)
+
+    def count(
+        self,
+        query,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> int:
+        """Number of records matching a query, summed across shards."""
+        return self.execute(query, semantics, using).num_matches
+
+    def fetch(
+        self,
+        query,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> IncompleteTable:
+        """Materialize the matching rows (global order) as a new table."""
+        report = self.execute(query, semantics, using)
+        return self._table.take(report.record_ids)
+
+    def explain(
+        self,
+        query,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+    ) -> str:
+        """Human-readable sharded plan: merged costs plus pruning decisions."""
+        query = self._normalize(query)
+        chosen, merged, _ = self._plan_sharded(query, semantics)
+        lines = [
+            f"ShardedQuery: {query!r}",
+            f"  semantics: {semantics.value}",
+            f"  shards: {self.num_shards} ({self.partitioner_name})",
+        ]
+        if merged:
+            lines.append("  merged plans (items summed over shards):")
+            for estimate in merged:
+                marker = "->" if estimate.index_name == chosen else "  "
+                lines.append(
+                    f"   {marker} {estimate.index_name} "
+                    f"({estimate.kind}): {estimate.items:,.0f} items "
+                    f"[{estimate.detail}]"
+                )
+        elif chosen is not None:
+            lines.append(
+                f"  chosen by preference order: {chosen} "
+                f"({self._index_meta[chosen].kind})"
+            )
+        else:
+            lines.append("  no covering index; sequential scan per shard")
+        pruned = [
+            shard.shard_id
+            for shard in self._shards
+            if not self._shard_can_match(shard, query, semantics)
+        ]
+        lines.append(
+            f"  pruned shards: {pruned if pruned else '(none)'} "
+            f"of {self.num_shards}"
+        )
+        return "\n".join(lines)
+
+    # -- introspection ---------------------------------------------------------
+
+    def cache_stats(self) -> CacheStats:
+        """Aggregate sub-result cache stats summed across shards."""
+        totals = [shard.database.sub_result_cache.stats() for shard in self._shards]
+        return CacheStats(
+            hits=sum(s.hits for s in totals),
+            misses=sum(s.misses for s in totals),
+            stores=sum(s.stores for s in totals),
+            evictions=sum(s.evictions for s in totals),
+            invalidations=sum(s.invalidations for s in totals),
+            entries=sum(s.entries for s in totals),
+            bytes=sum(s.bytes for s in totals),
+        )
+
+    def invalidate_cache(self, index_name: str | None = None) -> int:
+        """Drop cached sub-results on every shard; returns entries dropped."""
+        return sum(
+            shard.database.invalidate_cache(index_name)
+            for shard in self._shards
+        )
+
+    def summary(self) -> str:
+        """Multi-line overview: shards, per-shard sizes, indexes, caches."""
+        lines = [
+            f"ShardedDatabase: {self.num_records} records in "
+            f"{self.num_shards} shards ({self.partitioner_name}), "
+            f"{len(self._table.schema.names)} attributes",
+        ]
+        if not self._index_meta:
+            lines.append("  indexes: (none; queries fall back to scan)")
+        else:
+            lines.append("  indexes (fanned out to every shard):")
+            for name in sorted(self._index_meta):
+                meta = self._index_meta[name]
+                attrs = ", ".join(meta.attributes)
+                lines.append(f"    {name} ({meta.kind}) on [{attrs}]")
+        for shard in self._shards:
+            lines.append(
+                f"  shard {shard.shard_id}: "
+                f"{shard.database.table.num_records} records"
+            )
+        stats = self.cache_stats()
+        lines.append(
+            f"  sub-result caches ({self.num_shards} shards): "
+            f"{stats.entries} entries, {stats.bytes} bytes, "
+            f"hit rate {stats.hit_rate:.1%} "
+            f"({stats.hits} hits / {stats.misses} misses)"
+        )
+        return "\n".join(lines)

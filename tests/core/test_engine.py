@@ -182,3 +182,74 @@ class TestIntrospection:
         text = db.summary()
         assert "(none; queries fall back to scan)" in text
         assert "sequential scans: 1" in text
+
+    def test_summary_reports_cache_stats(self, db):
+        db.create_index("rng", "bre")
+        queries = [{"mid": (2, 4)}] * 5
+        db.execute_batch(queries)
+        text = db.summary()
+        assert "sub-result cache:" in text
+        assert "hit rate" in text
+        stats = db.sub_result_cache.stats()
+        assert f"{stats.hits} hits" in text
+        assert f"{stats.entries} entries" in text
+
+
+class TestAllMissingColumns:
+    """fetch() and query_predicate() when an entire column is missing."""
+
+    @pytest.fixture
+    def all_missing_db(self):
+        from repro.dataset.schema import AttributeSpec, Schema
+        from repro.dataset.table import IncompleteTable
+
+        schema = Schema([AttributeSpec("gone", 6), AttributeSpec("ok", 4)])
+        table = IncompleteTable(
+            schema,
+            {
+                "gone": np.zeros(40, dtype=np.int64),
+                "ok": np.tile(np.array([1, 2, 3, 4], dtype=np.int64), 10),
+            },
+        )
+        db = IncompleteDatabase(table)
+        db.create_index("ix", "bre")
+        return db
+
+    def test_fetch_all_missing_is_match(self, all_missing_db):
+        fetched = all_missing_db.fetch(
+            {"gone": (1, 6)}, MissingSemantics.IS_MATCH
+        )
+        assert fetched.num_records == 40
+        assert np.all(fetched.column("gone") == 0)
+
+    def test_fetch_all_missing_not_match(self, all_missing_db):
+        fetched = all_missing_db.fetch(
+            {"gone": (1, 6)}, MissingSemantics.NOT_MATCH
+        )
+        assert fetched.num_records == 0
+        assert fetched.column("gone").shape == (0,)
+
+    def test_fetch_mixed_query_on_all_missing(self, all_missing_db):
+        fetched = all_missing_db.fetch(
+            {"gone": (2, 3), "ok": (1, 2)}, MissingSemantics.IS_MATCH
+        )
+        assert fetched.num_records == 20
+        assert set(fetched.column("ok").tolist()) == {1, 2}
+
+    def test_query_predicate_all_missing(self, all_missing_db):
+        from repro.query.boolean import And, Atom, Not
+
+        predicate = Atom.of("gone", 1, 6)
+        is_match = all_missing_db.query_predicate(
+            predicate, MissingSemantics.IS_MATCH
+        )
+        assert is_match.num_matches == 40
+        not_match = all_missing_db.query_predicate(
+            predicate, MissingSemantics.NOT_MATCH
+        )
+        assert not_match.num_matches == 0
+        combined = all_missing_db.query_predicate(
+            And((Atom.of("gone", 1, 6), Not(Atom.of("ok", 3, 4)))),
+            MissingSemantics.IS_MATCH,
+        )
+        assert combined.num_matches == 20

@@ -5,6 +5,7 @@ import pytest
 from repro.core.engine import IncompleteDatabase
 from repro.core.planner import estimate_cost, rank_plans
 from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import PlanningError
 from repro.query.model import MissingSemantics, RangeQuery
 
 
@@ -77,3 +78,103 @@ class TestEngineIntegration:
     def test_forced_index_bypasses_planner(self, db):
         report = db.query({"a": (10, 60)}, using="va")
         assert report.index_name == "va"
+
+
+class TestUncoveredAttributeMessages:
+    """PlanningError names the missing attribute AND the covering indexes."""
+
+    def test_bitmap_error_lists_covering_indexes(self, db):
+        from repro.core.planner import estimate_bitmap_cost
+        from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+
+        query = RangeQuery.from_bounds({"b": (1, 5)})
+        narrow = RangeEncodedBitmapIndex(db.table, ["a"])
+        with pytest.raises(PlanningError) as info:
+            estimate_bitmap_cost(
+                narrow, query, MissingSemantics.IS_MATCH,
+                available=["wide_b", "other"],
+            )
+        message = str(info.value)
+        assert "'b'" in message
+        assert "covering indexes available: ['other', 'wide_b']" in message
+
+    def test_bitmap_error_with_no_covering_indexes(self, db):
+        from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+        from repro.core.planner import estimate_bitmap_cost
+
+        narrow = RangeEncodedBitmapIndex(db.table, ["a"])
+        with pytest.raises(PlanningError) as info:
+            estimate_bitmap_cost(
+                narrow,
+                RangeQuery.from_bounds({"b": (1, 5)}),
+                MissingSemantics.IS_MATCH,
+                available=[],
+            )
+        assert "no attached index covers it" in str(info.value)
+
+    def test_vafile_error_lists_covering_indexes(self, db):
+        from repro.core.planner import estimate_vafile_cost
+        from repro.vafile.vafile import VAFile
+
+        narrow = VAFile(db.table, ["a"])
+        with pytest.raises(PlanningError) as info:
+            estimate_vafile_cost(
+                narrow,
+                RangeQuery.from_bounds({"b": (1, 5)}),
+                MissingSemantics.IS_MATCH,
+                available=["va_b"],
+            )
+        message = str(info.value)
+        assert "['b']" in message
+        assert "covering indexes available: ['va_b']" in message
+
+    def test_legacy_call_without_available_unchanged(self, db):
+        from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+        from repro.core.planner import estimate_bitmap_cost
+
+        narrow = RangeEncodedBitmapIndex(db.table, ["a"])
+        with pytest.raises(PlanningError) as info:
+            estimate_bitmap_cost(
+                narrow,
+                RangeQuery.from_bounds({"b": (1, 5)}),
+                MissingSemantics.IS_MATCH,
+            )
+        message = str(info.value)
+        assert "covering indexes available" not in message
+        assert "no attached index covers it" not in message
+
+
+class TestCombineShardEstimates:
+    def _estimate(self, name, items, kind="bre"):
+        from repro.core.planner import CostEstimate
+
+        return CostEstimate(
+            index_name=name, kind=kind, items=items, detail="d"
+        )
+
+    def test_sums_items_across_shards(self):
+        from repro.core.planner import combine_shard_estimates
+
+        merged = combine_shard_estimates([
+            [self._estimate("x", 10), self._estimate("y", 5)],
+            [self._estimate("x", 7), self._estimate("y", 50)],
+        ])
+        by_name = {e.index_name: e for e in merged}
+        assert by_name["x"].items == 17
+        assert by_name["y"].items == 55
+        assert merged[0].index_name == "x"
+        assert "2 shards" in merged[0].detail
+
+    def test_drops_indexes_not_costable_everywhere(self):
+        from repro.core.planner import combine_shard_estimates
+
+        merged = combine_shard_estimates([
+            [self._estimate("x", 10), self._estimate("y", 5)],
+            [self._estimate("x", 7)],
+        ])
+        assert [e.index_name for e in merged] == ["x"]
+
+    def test_empty_input(self):
+        from repro.core.planner import combine_shard_estimates
+
+        assert combine_shard_estimates([]) == []

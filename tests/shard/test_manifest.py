@@ -1,0 +1,113 @@
+"""Shard manifest round-trips: save, load, and query identically."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.dataset.reorder import lexicographic_order
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import ShardError
+from repro.query.model import MissingSemantics
+from repro.shard.manifest import MANIFEST_NAME, load_sharded, save_sharded
+from repro.shard.sharded import ShardedDatabase
+
+QUERIES = [
+    {"a": (2, 6)},
+    {"a": (1, 20), "b": (3, 8)},
+    {"b": (1, 10)},
+]
+
+
+@pytest.fixture
+def table():
+    t = generate_uniform_table(
+        1500, {"a": 20, "b": 10}, {"a": 0.2, "b": 0.1}, seed=9
+    )
+    return t.take(lexicographic_order(t, ["a"]))
+
+
+@pytest.mark.parametrize("kind", ["bee", "bre", "bie", "vafile"])
+def test_round_trip_each_serializable_kind(table, tmp_path, kind):
+    with ShardedDatabase(table, num_shards=3) as db:
+        db.create_index("ix", kind)
+        save_sharded(db, tmp_path)
+        with load_sharded(tmp_path) as loaded:
+            assert loaded.num_shards == 3
+            assert loaded.num_records == table.num_records
+            assert loaded.index_names == ["ix"]
+            for semantics in MissingSemantics:
+                for query in QUERIES:
+                    expected = db.execute(query, semantics)
+                    got = loaded.execute(query, semantics)
+                    assert np.array_equal(
+                        expected.record_ids, got.record_ids
+                    )
+
+
+def test_round_trip_preserves_table(table, tmp_path):
+    with ShardedDatabase(
+        table, num_shards=4, partitioner="round-robin"
+    ) as db:
+        db.create_index("ix", "bre")
+        save_sharded(db, tmp_path)
+    with load_sharded(tmp_path) as loaded:
+        assert loaded.partitioner_name == "round-robin"
+        for name in table.schema.names:
+            assert np.array_equal(
+                loaded.table.column(name), table.column(name)
+            )
+
+
+def test_manifest_file_shape(table, tmp_path):
+    with ShardedDatabase(table, num_shards=2) as db:
+        db.create_index("ix", "bre")
+        path = save_sharded(db, tmp_path)
+    manifest = json.loads(path.read_text())
+    assert manifest["format"] == "repro-shard-manifest"
+    assert manifest["num_shards"] == 2
+    assert manifest["partitioner"] == "contiguous"
+    assert [a["name"] for a in manifest["attributes"]] == ["a", "b"]
+    assert len(manifest["shards"]) == 2
+    for entry in manifest["shards"]:
+        assert (tmp_path / entry["rows"]).exists()
+        assert (tmp_path / entry["table"]).exists()
+        for ix in entry["indexes"]:
+            assert (tmp_path / ix["file"]).exists()
+
+
+def test_unserializable_kind_rejected_before_writing(table, tmp_path):
+    target = tmp_path / "out"
+    with ShardedDatabase(table, num_shards=2) as db:
+        db.create_index("ix", "mosaic")
+        with pytest.raises(ShardError, match="cannot be serialized"):
+            save_sharded(db, target)
+    assert not target.exists()
+
+
+def test_load_missing_manifest(tmp_path):
+    with pytest.raises(ShardError, match=MANIFEST_NAME):
+        load_sharded(tmp_path)
+
+
+def test_load_rejects_bad_format(table, tmp_path):
+    with ShardedDatabase(table, num_shards=2) as db:
+        db.create_index("ix", "bre")
+        path = save_sharded(db, tmp_path)
+    manifest = json.loads(path.read_text())
+    manifest["format"] = "something-else"
+    path.write_text(json.dumps(manifest))
+    with pytest.raises(ShardError, match="format"):
+        load_sharded(tmp_path)
+
+
+def test_load_rejects_corrupt_rows(table, tmp_path):
+    with ShardedDatabase(table, num_shards=2) as db:
+        db.create_index("ix", "bre")
+        save_sharded(db, tmp_path)
+    np.save(
+        tmp_path / "shard-0" / "rows.npy",
+        np.zeros(3, dtype=np.int64),
+    )
+    with pytest.raises(ShardError):
+        load_sharded(tmp_path)

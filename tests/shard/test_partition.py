@@ -1,0 +1,135 @@
+"""Partitioner contract tests: every strategy yields a valid partition."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.schema import AttributeSpec, Schema
+from repro.dataset.synthetic import generate_uniform_table
+from repro.dataset.table import IncompleteTable
+from repro.errors import ShardError
+from repro.shard.partition import (
+    PARTITIONERS,
+    ContiguousPartitioner,
+    MissingDensityPartitioner,
+    RoundRobinPartitioner,
+    ShardAssignment,
+    get_partitioner,
+)
+
+ALL = sorted(PARTITIONERS)
+
+
+@pytest.fixture
+def table() -> IncompleteTable:
+    return generate_uniform_table(
+        997, {"a": 10, "b": 5}, {"a": 0.3, "b": 0.1}, seed=11
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+@pytest.mark.parametrize("num_shards", [1, 2, 3, 7])
+def test_partition_is_valid(table, name, num_shards):
+    assignment = get_partitioner(name).partition(table, num_shards)
+    assignment.validate()  # does not raise
+    assert assignment.num_shards == num_shards
+    assert assignment.partitioner == name
+    merged = np.concatenate(assignment.shards)
+    assert np.array_equal(
+        np.sort(merged), np.arange(table.num_records, dtype=np.int64)
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_row_counts_balanced_within_one(table, name):
+    assignment = get_partitioner(name).partition(table, 4)
+    sizes = [len(ids) for ids in assignment.shards]
+    assert max(sizes) - min(sizes) <= 1
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_deterministic(table, name):
+    first = get_partitioner(name).partition(table, 5)
+    second = get_partitioner(name).partition(table, 5)
+    for a, b in zip(first.shards, second.shards):
+        assert np.array_equal(a, b)
+
+
+def test_contiguous_shards_are_ranges(table):
+    assignment = ContiguousPartitioner().partition(table, 4)
+    for ids in assignment.shards:
+        assert np.array_equal(
+            ids, np.arange(ids[0], ids[-1] + 1, dtype=np.int64)
+        )
+
+
+def test_round_robin_stride(table):
+    assignment = RoundRobinPartitioner().partition(table, 3)
+    for shard_id, ids in enumerate(assignment.shards):
+        assert np.all(ids % 3 == shard_id)
+
+
+def test_missing_density_balances_missing_cells():
+    # 200 rows where all the missing data sits in the first half; a
+    # contiguous split would put every missing cell in shard 0.
+    schema = Schema([AttributeSpec("a", 4)])
+    column = np.ones(200, dtype=np.int64)
+    column[:100] = 0
+    table = IncompleteTable(schema, {"a": column})
+    assignment = MissingDensityPartitioner().partition(table, 4)
+    missing_per_shard = [
+        int((column[ids] == 0).sum()) for ids in assignment.shards
+    ]
+    assert max(missing_per_shard) - min(missing_per_shard) <= 1
+
+
+def test_invalid_shard_counts(table):
+    with pytest.raises(ShardError):
+        ContiguousPartitioner().partition(table, 0)
+    with pytest.raises(ShardError):
+        ContiguousPartitioner().partition(table, table.num_records + 1)
+
+
+def test_unknown_partitioner_name():
+    with pytest.raises(ShardError, match="unknown partitioner"):
+        get_partitioner("nope")
+
+
+def test_get_partitioner_passthrough():
+    instance = RoundRobinPartitioner()
+    assert get_partitioner(instance) is instance
+
+
+def test_validate_rejects_overlap():
+    bad = ShardAssignment(
+        "contiguous",
+        4,
+        (
+            np.array([0, 1], dtype=np.int64),
+            np.array([1, 2], dtype=np.int64),
+        ),
+    )
+    with pytest.raises(ShardError):
+        bad.validate()
+
+
+def test_validate_rejects_missing_rows():
+    bad = ShardAssignment(
+        "contiguous",
+        4,
+        (
+            np.array([0, 1], dtype=np.int64),
+            np.array([2], dtype=np.int64),
+        ),
+    )
+    with pytest.raises(ShardError):
+        bad.validate()
+
+
+def test_validate_rejects_unsorted_shard():
+    bad = ShardAssignment(
+        "contiguous",
+        3,
+        (np.array([1, 0], dtype=np.int64), np.array([2], dtype=np.int64)),
+    )
+    with pytest.raises(ShardError, match="ascending"):
+        bad.validate()
