@@ -82,10 +82,14 @@ from repro.query import (
     WorkloadGenerator,
 )
 from repro.storage import (
+    FsckFinding,
+    FsckReport,
+    atomic_write,
     load_bitmap_index_file,
     load_vafile_file,
     save_bitmap_index,
     save_vafile,
+    verify_sharded,
 )
 from repro.vafile import VAFile
 
@@ -98,8 +102,12 @@ __all__ = [
     "BbcBitVector",
     "BitVector",
     "BitSlicedIndex",
+    "FsckFinding",
+    "FsckReport",
     "Not",
     "Or",
+    "atomic_write",
+    "verify_sharded",
     "load_bitmap_index_file",
     "load_vafile_file",
     "save_bitmap_index",

@@ -240,7 +240,10 @@ class IncompleteDatabase:
         The storage layer (:mod:`repro.storage`, shard manifests) builds
         index objects without going through :meth:`create_index`; this is
         the hatch that registers them under a name.  The same uniqueness
-        and cache-invalidation rules as :meth:`create_index` apply.
+        and cache-invalidation rules as :meth:`create_index` apply.  An
+        index whose record count disagrees with the table is rejected —
+        a loaded index file that covers the wrong number of rows would
+        otherwise answer queries with silently wrong record ids.
         """
         if name in self._indexes and not overwrite:
             raise ReproError(
@@ -250,6 +253,13 @@ class IncompleteDatabase:
         if kind not in _BUILDERS:
             raise ReproError(
                 f"unknown index kind {kind!r}; expected one of {sorted(_BUILDERS)}"
+            )
+        covered = getattr(index, "num_records", None)
+        if covered is not None and covered != self._table.num_records:
+            raise ReproError(
+                f"index {name!r} covers {covered} records but the table "
+                f"has {self._table.num_records}; it was built over a "
+                f"different table"
             )
         attrs = (
             tuple(attributes)

@@ -5,9 +5,14 @@ Usage::
     python -m repro.experiments                 # everything, CI scale
     python -m repro.experiments --scale paper   # the paper's dataset sizes
     python -m repro.experiments --only fig4a fig5c
+    python -m repro.experiments fsck DIR        # verify a sharded save
+    python -m repro.experiments fsck DIR --deep # ... parsing every payload
 
 Each experiment prints the same series the paper plots; EXPERIMENTS.md
-records a reference run next to the paper's reported values.
+records a reference run next to the paper's reported values.  The ``fsck``
+subcommand walks a directory written by ``save_sharded`` and reports every
+file as ok/corrupt/missing/orphan (see ``docs/persistence.md``); its exit
+status is non-zero when anything is corrupt or missing.
 """
 
 from __future__ import annotations
@@ -63,7 +68,29 @@ def _experiments(scale: dict) -> dict[str, Callable[[], object]]:
     }
 
 
+def _fsck_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments fsck",
+        description="Verify the integrity of a saved sharded database.",
+    )
+    parser.add_argument("directory", help="directory holding manifest.json")
+    parser.add_argument(
+        "--deep", action="store_true",
+        help="also parse every table and index payload through its loader",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.storage import verify_sharded
+
+    report = verify_sharded(args.directory, deep=args.deep)
+    print(report.format())
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv[:1] == ["fsck"]:
+        return _fsck_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures and tables.",

@@ -2,30 +2,53 @@
 
 Layout on disk (all paths relative to the manifest's directory)::
 
-    manifest.json           -- format tag, schema, shard + index catalog
-    shard-0/rows.npy        -- global record ids owned by shard 0 (int64)
-    shard-0/table.npz       -- shard 0's row slice (repro.dataset.io format)
-    shard-0/<index>.idx     -- one file per attached index (repro.storage)
-    shard-1/...
+    manifest.json                 -- format tag, schema, checksums, catalog
+    gen-000001/shard-0/rows.npy   -- global record ids owned by shard 0
+    gen-000001/shard-0/table.npz  -- shard 0's row slice (repro.dataset.io)
+    gen-000001/shard-0/<name>.idx -- one file per attached index
+    gen-000001/shard-1/...
 
 ``manifest.json`` is the source of truth: it names the partitioner, the
 full-table schema, and for every shard its row-id file, table file, and the
-``(name, kind, attributes, file)`` of each serialized index.  Only the
-serializable index kinds — the WAH/BBC bitmap encodings (``bee``, ``bre``,
-``bie``) and ``vafile`` — can be persisted; other kinds raise
+``(name, kind, attributes, options, file)`` of each serialized index.  Only
+the serializable index kinds — the WAH/BBC bitmap encodings (``bee``,
+``bre``, ``bie``) and ``vafile`` — can be persisted; other kinds raise
 :class:`~repro.errors.ShardError` at save time so a manifest never goes out
 half-written with silently dropped indexes.
+
+Crash safety and integrity (see ``docs/persistence.md``):
+
+* every save writes into a **fresh generation directory** and commits by
+  atomically replacing ``manifest.json`` last, so a crash at any point
+  leaves the directory loadable as either the complete old state or the
+  complete new state (stale generations are garbage-collected only after
+  the commit);
+* every file is written through the checksummed ``RPF1`` frame and its
+  whole-file CRC32 and size are **recorded in the manifest**, which also
+  carries a checksum over its own canonical JSON (``self_crc32``);
+* saving over an existing sharded directory requires ``overwrite=True`` —
+  refusing beats silently mixing shard files from two different saves;
+* loading degrades gracefully: a corrupt or missing *index* file is
+  reported (``storage.index_rebuilds`` counter + ``RuntimeWarning``) and
+  the index is rebuilt from the shard table, while a corrupt *table* or
+  *row-map* file is a hard :class:`~repro.errors.CorruptIndexError` naming
+  the file and shard.
 
 Loading reverses the split exactly: shard tables and indexes are read back
 as serialized (so indexes stay aligned with the rows they were built over),
 and the full table is reconstructed by scattering each shard's columns
-through its saved global row ids.
+through its saved global row ids.  Malformed manifests are rejected with
+errors naming the offending shard: duplicate shard ids, global row ids
+owned by nobody, and row ids claimed by two shards are all load errors.
 """
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import shutil
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -34,9 +57,12 @@ from repro.core.cache import DEFAULT_CACHE_BYTES
 from repro.dataset.io import load_table, save_table
 from repro.dataset.schema import AttributeSpec, Schema
 from repro.dataset.table import IncompleteTable
-from repro.errors import ShardError
+from repro.errors import CorruptIndexError, ShardError
+from repro.observability import record
 from repro.shard.partition import ShardAssignment
 from repro.shard.sharded import ShardedDatabase
+from repro.storage import integrity
+from repro.storage.integrity import crc32, file_crc32, parse_frame
 from repro.storage.serialize import (
     load_bitmap_index_file,
     load_vafile_file,
@@ -48,7 +74,8 @@ __all__ = ["MANIFEST_NAME", "load_sharded", "save_sharded"]
 
 MANIFEST_NAME = "manifest.json"
 _FORMAT = "repro-shard-manifest"
-_VERSION = 1
+_VERSION = 2
+_SUPPORTED_VERSIONS = frozenset({1, 2})
 
 #: Index kinds the manifest can persist, mapped to their writers.
 _BITMAP_KINDS = frozenset({"bee", "bre", "bie"})
@@ -58,12 +85,91 @@ def _shard_dir(shard_id: int) -> str:
     return f"shard-{shard_id}"
 
 
-def save_sharded(db: ShardedDatabase, directory: str | os.PathLike) -> Path:
+def _generation_dir(generation: int) -> str:
+    return f"gen-{generation:06d}"
+
+
+def _generation_of(name: str) -> int | None:
+    """The generation number encoded in a ``gen-*`` directory name."""
+    if not name.startswith("gen-"):
+        return None
+    try:
+        return int(name[4:])
+    except ValueError:
+        return None
+
+
+def _owned_entries(root: Path) -> list[Path]:
+    """Subdirectories a previous :func:`save_sharded` may have created."""
+    if not root.is_dir():
+        return []
+    owned = []
+    for child in root.iterdir():
+        if not child.is_dir():
+            continue
+        if _generation_of(child.name) is not None or (
+            child.name.startswith("shard-")
+            and child.name[6:].isdigit()
+        ):
+            owned.append(child)
+    return owned
+
+
+def manifest_text(manifest: dict) -> str:
+    """Canonical manifest JSON with ``self_crc32`` stamped in.
+
+    The checksum covers the canonical serialization of everything *except*
+    the ``self_crc32`` field itself; :func:`load_sharded` and fsck recompute
+    it the same way.
+    """
+    body = {k: v for k, v in manifest.items() if k != "self_crc32"}
+    canonical = json.dumps(body, indent=2, sort_keys=True)
+    signed = dict(body, self_crc32=crc32(canonical.encode("utf-8")))
+    return json.dumps(signed, indent=2, sort_keys=True) + "\n"
+
+
+def _file_record(root: Path, relative: str) -> dict:
+    """Manifest record for a just-written file: path, CRC32, byte size."""
+    checksum, nbytes = file_crc32(root / relative)
+    return {"path": relative, "crc32": checksum, "bytes": nbytes}
+
+
+def _file_fields(entry) -> tuple[str, int | None, int | None]:
+    """``(path, crc32, bytes)`` from a v2 record or a bare v1 path string."""
+    if isinstance(entry, str):
+        return entry, None, None
+    return entry["path"], entry.get("crc32"), entry.get("bytes")
+
+
+def _index_options(attached) -> dict:
+    """Constructor options needed to rebuild ``attached`` from its table."""
+    if attached.kind in _BITMAP_KINDS:
+        return {"codec": attached.index.codec}
+    vafile = attached.index
+    return {
+        "quantization": vafile.quantization,
+        "bits": {
+            name: vafile.quantizer(name).bits for name in vafile.attributes
+        },
+    }
+
+
+def save_sharded(
+    db: ShardedDatabase,
+    directory: str | os.PathLike,
+    overwrite: bool = False,
+) -> Path:
     """Write ``db`` (tables, row assignment, indexes) under ``directory``.
 
-    Returns the manifest path.  The directory is created if needed; existing
-    files are overwritten.  Raises :class:`ShardError` before writing
-    anything if some attached index kind cannot be serialized.
+    Returns the manifest path.  The directory is created if needed.  If it
+    already holds a sharded database (or stray ``gen-*``/``shard-*``
+    subdirectories from one), the save refuses with :class:`ShardError`
+    unless ``overwrite=True``; with it, the new state is written into a
+    fresh generation directory, committed by atomically replacing
+    ``manifest.json``, and only then are the previous generation's files
+    removed — so a crash mid-save always leaves the old state loadable.
+    Raises :class:`ShardError` before writing anything if some attached
+    index kind cannot be serialized.
     """
     root = Path(directory)
     for name in db.index_names:
@@ -74,19 +180,34 @@ def save_sharded(db: ShardedDatabase, directory: str | os.PathLike) -> Path:
                 f"serialized; persistable kinds are "
                 f"{sorted(_BITMAP_KINDS | {'vafile'})}"
             )
+    manifest_path = root / MANIFEST_NAME
+    previous = _owned_entries(root)
+    if (manifest_path.exists() or previous) and not overwrite:
+        raise ShardError(
+            f"{root} already holds a sharded database save; pass "
+            f"overwrite=True to replace it"
+        )
+    generation = 1 + max(
+        (gen for entry in previous
+         if (gen := _generation_of(entry.name)) is not None),
+        default=0,
+    )
+    gen_rel = _generation_dir(generation)
     root.mkdir(parents=True, exist_ok=True)
     shard_entries = []
     for shard in db.shards:
-        subdir = root / _shard_dir(shard.shard_id)
-        subdir.mkdir(exist_ok=True)
-        rows_rel = f"{_shard_dir(shard.shard_id)}/rows.npy"
-        table_rel = f"{_shard_dir(shard.shard_id)}/table.npz"
-        np.save(root / rows_rel, shard.global_ids.astype(np.int64))
+        subdir = root / gen_rel / _shard_dir(shard.shard_id)
+        subdir.mkdir(parents=True, exist_ok=True)
+        rows_rel = f"{gen_rel}/{_shard_dir(shard.shard_id)}/rows.npy"
+        table_rel = f"{gen_rel}/{_shard_dir(shard.shard_id)}/table.npz"
+        buffer = io.BytesIO()
+        np.save(buffer, shard.global_ids.astype(np.int64))
+        integrity.write_framed(root / rows_rel, [("rows", buffer.getvalue())])
         save_table(shard.database.table, root / table_rel)
         index_entries = []
         for name in db.index_names:
             attached = shard.database.get_index(name)
-            index_rel = f"{_shard_dir(shard.shard_id)}/{name}.idx"
+            index_rel = f"{gen_rel}/{_shard_dir(shard.shard_id)}/{name}.idx"
             if attached.kind in _BITMAP_KINDS:
                 save_bitmap_index(attached.index, root / index_rel)
             else:
@@ -95,18 +216,20 @@ def save_sharded(db: ShardedDatabase, directory: str | os.PathLike) -> Path:
                 "name": name,
                 "kind": attached.kind,
                 "attributes": list(attached.attributes),
-                "file": index_rel,
+                "options": _index_options(attached),
+                "file": _file_record(root, index_rel),
             })
         shard_entries.append({
             "shard_id": shard.shard_id,
             "num_records": shard.database.table.num_records,
-            "rows": rows_rel,
-            "table": table_rel,
+            "rows": _file_record(root, rows_rel),
+            "table": _file_record(root, table_rel),
             "indexes": index_entries,
         })
     manifest = {
         "format": _FORMAT,
         "version": _VERSION,
+        "generation": generation,
         "num_records": db.num_records,
         "num_shards": db.num_shards,
         "partitioner": db.partitioner_name,
@@ -116,9 +239,154 @@ def save_sharded(db: ShardedDatabase, directory: str | os.PathLike) -> Path:
         ],
         "shards": shard_entries,
     }
-    manifest_path = root / MANIFEST_NAME
-    manifest_path.write_text(json.dumps(manifest, indent=2) + "\n")
+    integrity.atomic_write(
+        manifest_path, manifest_text(manifest).encode("utf-8")
+    )
+    # Commit point passed: the new manifest is durable.  Clearing stale
+    # generations (and pre-generation shard-* layouts) is best-effort —
+    # a crash here leaves orphans that fsck reports and load ignores.
+    for entry in _owned_entries(root):
+        if entry.name != gen_rel:
+            shutil.rmtree(entry, ignore_errors=True)
     return manifest_path
+
+
+def _read_manifest(manifest_path: Path) -> dict:
+    """Parse and integrity-check ``manifest.json``."""
+    if not manifest_path.exists():
+        raise ShardError(f"no {MANIFEST_NAME} in {manifest_path.parent}")
+    try:
+        text = manifest_path.read_text(encoding="utf-8")
+        manifest = json.loads(text)
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ShardError(f"{manifest_path} is not valid JSON: {exc}")
+    if not isinstance(manifest, dict):
+        raise ShardError(f"{manifest_path}: manifest is not a JSON object")
+    if manifest.get("format") != _FORMAT:
+        raise ShardError(
+            f"{manifest_path}: unexpected format tag "
+            f"{manifest.get('format')!r}"
+        )
+    version = manifest.get("version")
+    if version not in _SUPPORTED_VERSIONS:
+        raise ShardError(
+            f"{manifest_path}: unsupported manifest version {version!r} "
+            f"(this build reads {sorted(_SUPPORTED_VERSIONS)})"
+        )
+    if version >= 2:
+        recorded = manifest.get("self_crc32")
+        body = {k: v for k, v in manifest.items() if k != "self_crc32"}
+        canonical = json.dumps(body, indent=2, sort_keys=True)
+        actual = crc32(canonical.encode("utf-8"))
+        if recorded != actual:
+            record("storage.checksum_failures")
+            raise ShardError(
+                f"{manifest_path}: manifest checksum mismatch "
+                f"(recorded {recorded}, content hashes to {actual}); "
+                f"the manifest has been corrupted or hand-edited"
+            )
+    return manifest
+
+
+def _check_shard_entries(manifest: dict, manifest_path: Path) -> list[dict]:
+    """Shard entries in shard-id order, with duplicate/missing ids rejected."""
+    entries = sorted(manifest["shards"], key=lambda e: e["shard_id"])
+    seen: dict[int, int] = {}
+    for entry in entries:
+        shard_id = entry["shard_id"]
+        if shard_id in seen:
+            raise ShardError(
+                f"{manifest_path}: duplicate shard_id {shard_id} in manifest"
+            )
+        seen[shard_id] = shard_id
+    expected = list(range(len(entries)))
+    if sorted(seen) != expected:
+        raise ShardError(
+            f"{manifest_path}: shard ids {sorted(seen)} are not the "
+            f"contiguous range 0..{len(entries) - 1}"
+        )
+    return entries
+
+
+def _check_row_coverage(
+    num_records: int, rows_per_shard: list[np.ndarray]
+) -> None:
+    """Reject row maps that are not a partition, naming the offending shard."""
+    for shard_id, rows in enumerate(rows_per_shard):
+        if len(rows) and (rows.min() < 0 or rows.max() >= num_records):
+            bad = rows[(rows < 0) | (rows >= num_records)][0]
+            raise ShardError(
+                f"shard {shard_id} claims global row id {int(bad)}, outside "
+                f"0..{num_records - 1}"
+            )
+    merged = (
+        np.concatenate(rows_per_shard)
+        if rows_per_shard
+        else np.empty(0, dtype=np.int64)
+    )
+    counts = np.bincount(merged, minlength=num_records)
+    duplicated = np.flatnonzero(counts > 1)
+    if duplicated.size:
+        row = int(duplicated[0])
+        owners = [
+            shard_id
+            for shard_id, rows in enumerate(rows_per_shard)
+            if np.isin(row, rows)
+        ]
+        raise ShardError(
+            f"global row id {row} is claimed by shards {owners} "
+            f"({duplicated.size} duplicated ids in total)"
+        )
+    missing = np.flatnonzero(counts == 0)
+    if missing.size:
+        raise ShardError(
+            f"global row id {int(missing[0])} is not owned by any shard "
+            f"({missing.size} unowned ids in total)"
+        )
+
+
+def _verify_recorded_crc(
+    path: Path, recorded_crc, recorded_bytes, context: str
+) -> None:
+    """Check a file against the CRC/size the manifest recorded for it."""
+    if not path.exists():
+        raise CorruptIndexError(f"{context}: {path} is missing")
+    if recorded_crc is None:
+        return  # v1 manifest: nothing recorded
+    actual_crc, actual_bytes = file_crc32(path)
+    if recorded_bytes is not None and actual_bytes != recorded_bytes:
+        record("storage.checksum_failures")
+        raise CorruptIndexError(
+            f"{context}: {path} is {actual_bytes} bytes but the manifest "
+            f"recorded {recorded_bytes}"
+        )
+    if actual_crc != recorded_crc:
+        record("storage.checksum_failures")
+        raise CorruptIndexError(
+            f"{context}: {path} fails its manifest checksum "
+            f"(recorded {recorded_crc}, file hashes to {actual_crc})"
+        )
+
+
+def _load_rows(path: Path, context: str) -> np.ndarray:
+    """Load a framed (or legacy raw ``.npy``) row-map file."""
+    try:
+        data = path.read_bytes()
+        if data[:4] == b"RPF1":
+            sections = parse_frame(data, source=str(path))
+            data = b"".join(payload for _, payload in sections)
+        else:
+            record("storage.legacy_loads")
+        rows = np.load(io.BytesIO(data), allow_pickle=False)
+    except FileNotFoundError:
+        raise CorruptIndexError(f"{context}: {path} is missing")
+    except CorruptIndexError as exc:
+        raise CorruptIndexError(f"{context}: {exc}") from exc
+    except (ValueError, OSError, EOFError) as exc:
+        raise CorruptIndexError(
+            f"{context}: corrupt row-map file {path} ({exc})"
+        ) from exc
+    return np.asarray(rows).astype(np.int64)
 
 
 def load_sharded(
@@ -127,48 +395,55 @@ def load_sharded(
     max_workers: int | None = None,
     cache_bytes: int = DEFAULT_CACHE_BYTES,
 ) -> ShardedDatabase:
-    """Rebuild a :class:`ShardedDatabase` saved by :func:`save_sharded`."""
+    """Rebuild a :class:`ShardedDatabase` saved by :func:`save_sharded`.
+
+    Table and row-map files are load-bearing: if one is missing or fails
+    its checksum the load raises :class:`CorruptIndexError` naming the file
+    and shard.  Index files are derived state: a corrupt or missing index
+    file is reported (``RuntimeWarning`` + ``storage.index_rebuilds``
+    counter) and that shard's index is rebuilt from its table using the
+    options recorded in the manifest, so the database still opens and
+    answers queries identically.
+    """
     root = Path(directory)
     manifest_path = root / MANIFEST_NAME
-    if not manifest_path.exists():
-        raise ShardError(f"no {MANIFEST_NAME} in {root}")
-    try:
-        manifest = json.loads(manifest_path.read_text())
-    except json.JSONDecodeError as exc:
-        raise ShardError(f"{manifest_path} is not valid JSON: {exc}")
-    if manifest.get("format") != _FORMAT:
-        raise ShardError(
-            f"{manifest_path}: unexpected format tag "
-            f"{manifest.get('format')!r}"
-        )
-    if manifest.get("version") != _VERSION:
-        raise ShardError(
-            f"{manifest_path}: unsupported manifest version "
-            f"{manifest.get('version')!r} (this build reads {_VERSION})"
-        )
+    manifest = _read_manifest(manifest_path)
     num_records = int(manifest["num_records"])
     schema = Schema(
         AttributeSpec(entry["name"], int(entry["cardinality"]))
         for entry in manifest["attributes"]
     )
-    entries = sorted(manifest["shards"], key=lambda e: e["shard_id"])
+    entries = _check_shard_entries(manifest, manifest_path)
     rows_per_shard = []
     shard_tables = []
     for entry in entries:
-        rows = np.load(root / entry["rows"]).astype(np.int64)
-        shard_table = load_table(root / entry["table"])
+        shard_id = entry["shard_id"]
+        context = f"shard {shard_id}"
+        rows_rel, rows_crc, rows_bytes = _file_fields(entry["rows"])
+        _verify_recorded_crc(root / rows_rel, rows_crc, rows_bytes, context)
+        rows = _load_rows(root / rows_rel, context)
+        table_rel, table_crc, table_bytes = _file_fields(entry["table"])
+        _verify_recorded_crc(root / table_rel, table_crc, table_bytes, context)
+        try:
+            shard_table = load_table(root / table_rel)
+        except FileNotFoundError:
+            raise CorruptIndexError(
+                f"{context}: {root / table_rel} is missing"
+            )
+        except CorruptIndexError as exc:
+            raise CorruptIndexError(f"{context}: {exc}") from exc
         if len(rows) != shard_table.num_records:
             raise ShardError(
-                f"shard {entry['shard_id']}: {len(rows)} row ids but "
+                f"shard {shard_id}: {len(rows)} row ids but "
                 f"{shard_table.num_records} table rows"
             )
         if list(shard_table.schema.names) != [s.name for s in schema]:
             raise ShardError(
-                f"shard {entry['shard_id']}: table schema disagrees with "
-                f"the manifest"
+                f"shard {shard_id}: table schema disagrees with the manifest"
             )
         rows_per_shard.append(rows)
         shard_tables.append(shard_table)
+    _check_row_coverage(num_records, rows_per_shard)
     assignment = ShardAssignment(
         partitioner=manifest["partitioner"],
         num_records=num_records,
@@ -176,7 +451,7 @@ def load_sharded(
     )
     assignment.validate()
     # Reassemble the full table by scattering shard columns through their
-    # global row ids; validate() above guarantees full coverage.
+    # global row ids; the coverage checks above guarantee a full partition.
     columns = {}
     for spec in schema:
         full = np.zeros(num_records, dtype=np.int64)
@@ -196,15 +471,36 @@ def load_sharded(
         shard = db.shards[entry["shard_id"]]
         for index_entry in entry["indexes"]:
             kind = index_entry["kind"]
-            path = root / index_entry["file"]
-            if kind in _BITMAP_KINDS:
-                index = load_bitmap_index_file(path)
-            elif kind == "vafile":
-                index = load_vafile_file(path, shard.database.table)
-            else:
+            if kind not in _BITMAP_KINDS and kind != "vafile":
                 raise ShardError(
                     f"manifest names unloadable index kind {kind!r}"
                 )
+            rel, crc, nbytes = _file_fields(index_entry["file"])
+            path = root / rel
+            try:
+                _verify_recorded_crc(
+                    path, crc, nbytes, f"shard {entry['shard_id']}"
+                )
+                if kind in _BITMAP_KINDS:
+                    index = load_bitmap_index_file(path)
+                else:
+                    index = load_vafile_file(path, shard.database.table)
+            except CorruptIndexError as exc:
+                record("storage.index_rebuilds")
+                warnings.warn(
+                    f"shard {entry['shard_id']}: index "
+                    f"{index_entry['name']!r} could not be loaded ({exc}); "
+                    f"rebuilding it from the shard table",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                shard.database.create_index(
+                    index_entry["name"],
+                    kind,
+                    attributes=index_entry["attributes"],
+                    **index_entry.get("options", {}),
+                )
+                continue
             shard.database.attach_index(
                 index_entry["name"],
                 kind,

@@ -1,27 +1,65 @@
-"""On-disk index files for bitmap indexes and VA-files."""
+"""On-disk index files, crash-safe writes, checksums, and fsck.
 
-from repro.storage.serialize import (
-    dump_bitmap_index,
-    dump_vafile,
-    load_bitmap_index,
-    load_bitmap_index_file,
-    load_vafile,
-    load_vafile_file,
-    pack_codes,
-    save_bitmap_index,
-    save_vafile,
-    unpack_codes,
-)
+Submodules:
 
-__all__ = [
-    "dump_bitmap_index",
-    "dump_vafile",
-    "load_bitmap_index",
-    "load_bitmap_index_file",
-    "load_vafile",
-    "load_vafile_file",
-    "pack_codes",
-    "save_bitmap_index",
-    "save_vafile",
-    "unpack_codes",
-]
+* :mod:`repro.storage.integrity` — :func:`atomic_write` and the ``RPF1``
+  checksummed frame every writer goes through;
+* :mod:`repro.storage.format` — the ``RPIX`` binary container;
+* :mod:`repro.storage.serialize` — bitmap-index and VA-file save/load;
+* :mod:`repro.storage.fsck` — :func:`verify_sharded` integrity walks.
+
+Attributes are resolved lazily (PEP 562): low-level modules like
+:mod:`repro.dataset.io` import ``repro.storage.integrity`` while the index
+classes that :mod:`repro.storage.serialize` needs are still initializing,
+so this package must not import its submodules eagerly.
+"""
+
+from importlib import import_module
+
+_EXPORTS = {
+    # integrity
+    "atomic_write": "repro.storage.integrity",
+    "build_frame": "repro.storage.integrity",
+    "crc32": "repro.storage.integrity",
+    "file_crc32": "repro.storage.integrity",
+    "is_framed": "repro.storage.integrity",
+    "parse_frame": "repro.storage.integrity",
+    "read_framed": "repro.storage.integrity",
+    "write_framed": "repro.storage.integrity",
+    # serialize
+    "dump_bitmap_index": "repro.storage.serialize",
+    "dump_bitmap_index_sections": "repro.storage.serialize",
+    "dump_vafile": "repro.storage.serialize",
+    "dump_vafile_sections": "repro.storage.serialize",
+    "load_bitmap_index": "repro.storage.serialize",
+    "load_bitmap_index_file": "repro.storage.serialize",
+    "load_vafile": "repro.storage.serialize",
+    "load_vafile_file": "repro.storage.serialize",
+    "pack_codes": "repro.storage.serialize",
+    "save_bitmap_index": "repro.storage.serialize",
+    "save_vafile": "repro.storage.serialize",
+    "unpack_codes": "repro.storage.serialize",
+    # fsck
+    "FsckFinding": "repro.storage.fsck",
+    "FsckReport": "repro.storage.fsck",
+    "verify_file": "repro.storage.fsck",
+    "verify_sharded": "repro.storage.fsck",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    value = getattr(import_module(module), name)
+    globals()[name] = value  # cache for subsequent lookups
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

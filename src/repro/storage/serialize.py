@@ -29,7 +29,9 @@ from repro.bitvector.bitvector import BitVector
 from repro.bitvector.wah import WahBitVector
 from repro.dataset.table import IncompleteTable
 from repro.errors import CorruptIndexError, ReproError
+from repro.observability import record
 from repro.storage import format as fmt
+from repro.storage.integrity import is_framed, parse_frame, write_framed
 from repro.vafile.quantizer import QuantileQuantizer, UniformQuantizer
 from repro.vafile.vafile import VAFile, _code_dtype
 
@@ -80,8 +82,15 @@ def _vector_from_payload(codec: str, nbits: int, payload: bytes):
 
 # -- bitmap indexes ------------------------------------------------------------
 
-def dump_bitmap_index(index: BitmapIndex) -> bytes:
-    """Serialize a BEE or BRE index to bytes."""
+def dump_bitmap_index_sections(index: BitmapIndex) -> list[tuple[str, bytes]]:
+    """Serialize a bitmap index as labelled frame sections.
+
+    One ``meta`` section (container header + encoding name) and one
+    ``attr:<name>`` section per attribute; concatenating the payloads in
+    order yields exactly the byte stream :func:`load_bitmap_index` parses,
+    while the per-section split lets the frame record one CRC32 per
+    attribute so fsck can name the damaged attribute.
+    """
     if index.encoding not in _ENCODINGS:
         raise ReproError(
             f"only {sorted(_ENCODINGS)} encodings are serializable, "
@@ -96,8 +105,10 @@ def dump_bitmap_index(index: BitmapIndex) -> bytes:
         len(index.attributes),
     )
     fmt.write_str(out, index.encoding)
+    sections = [("meta", out.getvalue())]
     for name in index.attributes:
         family = index._family(name)
+        out = io.BytesIO()
         fmt.write_str(out, name)
         out.write(
             struct.pack(
@@ -110,7 +121,15 @@ def dump_bitmap_index(index: BitmapIndex) -> bytes:
         for slot, vec in sorted(family.vectors.items()):
             out.write(struct.pack("<I", slot))
             fmt.write_bytes(out, _vector_payload(vec))
-    return out.getvalue()
+        sections.append((f"attr:{name}", out.getvalue()))
+    return sections
+
+
+def dump_bitmap_index(index: BitmapIndex) -> bytes:
+    """Serialize a BEE or BRE index to bytes."""
+    return b"".join(
+        payload for _, payload in dump_bitmap_index_sections(index)
+    )
 
 
 def load_bitmap_index(data: bytes) -> BitmapIndex:
@@ -152,18 +171,45 @@ def load_bitmap_index(data: bytes) -> BitmapIndex:
     return index
 
 
+#: Exceptions a structural parser may leak on malformed-but-CRC-clean input
+#: (only reachable for unframed legacy files); loaders convert them so a
+#: corrupted file never surfaces as a bare ``struct.error`` or numpy error.
+_PARSE_ERRORS = (ValueError, KeyError, IndexError, OverflowError,
+                 struct.error, EOFError)
+
+
+def _read_payload(path: str | os.PathLike) -> bytes:
+    """A file's logical payload: framed sections re-joined, or raw bytes.
+
+    Framed files get full checksum validation here; unframed files are
+    accepted as legacy (pre-checksum) payloads and counted via the
+    ``storage.legacy_loads`` counter.
+    """
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if is_framed(data):
+        sections = parse_frame(data, source=os.fspath(path))
+        return b"".join(payload for _, payload in sections)
+    record("storage.legacy_loads")
+    return data
+
+
 def save_bitmap_index(index: BitmapIndex, path: str | os.PathLike) -> int:
-    """Write an index file; returns the file size in bytes."""
-    payload = dump_bitmap_index(index)
-    with open(path, "wb") as out:
-        out.write(payload)
-    return len(payload)
+    """Atomically write a checksummed index file; returns its size in bytes."""
+    return write_framed(path, dump_bitmap_index_sections(index))
 
 
 def load_bitmap_index_file(path: str | os.PathLike) -> BitmapIndex:
     """Read an index file written by :func:`save_bitmap_index`."""
-    with open(path, "rb") as handle:
-        return load_bitmap_index(handle.read())
+    payload = _read_payload(path)
+    try:
+        return load_bitmap_index(payload)
+    except CorruptIndexError as exc:
+        raise CorruptIndexError(f"{os.fspath(path)}: {exc}") from exc
+    except _PARSE_ERRORS as exc:
+        raise CorruptIndexError(
+            f"{os.fspath(path)}: malformed bitmap index file ({exc})"
+        ) from exc
 
 
 # -- VA-files -------------------------------------------------------------------
@@ -187,21 +233,29 @@ def unpack_codes(payload: bytes, bits: int, count: int) -> np.ndarray:
     return (bit_matrix * weights).sum(axis=1, dtype=np.uint32)
 
 
-def dump_vafile(vafile: VAFile) -> bytes:
-    """Serialize a VA-file (approximations + quantizer metadata) to bytes."""
+def dump_vafile_sections(vafile: VAFile) -> list[tuple[str, bytes]]:
+    """Serialize a VA-file as labelled frame sections (see bitmap variant)."""
     out = io.BytesIO()
     fmt.write_header(
         out, fmt.KIND_VAFILE, 0, vafile.num_records, len(vafile.attributes)
     )
     out.write(struct.pack("<B", _QUANT_TAGS[vafile.quantization]))
+    sections = [("meta", out.getvalue())]
     for name in vafile.attributes:
         quantizer = vafile.quantizer(name)
+        out = io.BytesIO()
         fmt.write_str(out, name)
         out.write(struct.pack("<IB", quantizer.cardinality, quantizer.bits))
         if isinstance(quantizer, QuantileQuantizer):
             fmt.write_int_array(out, quantizer._upper_edges, "<i8")
         fmt.write_bytes(out, pack_codes(vafile.codes(name), quantizer.bits))
-    return out.getvalue()
+        sections.append((f"attr:{name}", out.getvalue()))
+    return sections
+
+
+def dump_vafile(vafile: VAFile) -> bytes:
+    """Serialize a VA-file (approximations + quantizer metadata) to bytes."""
+    return b"".join(payload for _, payload in dump_vafile_sections(vafile))
 
 
 def load_vafile(data: bytes, table: IncompleteTable) -> VAFile:
@@ -254,14 +308,18 @@ def load_vafile(data: bytes, table: IncompleteTable) -> VAFile:
 
 
 def save_vafile(vafile: VAFile, path: str | os.PathLike) -> int:
-    """Write a VA-file index file; returns the file size in bytes."""
-    payload = dump_vafile(vafile)
-    with open(path, "wb") as out:
-        out.write(payload)
-    return len(payload)
+    """Atomically write a checksummed VA-file; returns its size in bytes."""
+    return write_framed(path, dump_vafile_sections(vafile))
 
 
 def load_vafile_file(path: str | os.PathLike, table: IncompleteTable) -> VAFile:
     """Read an index file written by :func:`save_vafile`."""
-    with open(path, "rb") as handle:
-        return load_vafile(handle.read(), table)
+    payload = _read_payload(path)
+    try:
+        return load_vafile(payload, table)
+    except CorruptIndexError as exc:
+        raise CorruptIndexError(f"{os.fspath(path)}: {exc}") from exc
+    except _PARSE_ERRORS as exc:
+        raise CorruptIndexError(
+            f"{os.fspath(path)}: malformed VA-file ({exc})"
+        ) from exc

@@ -82,3 +82,29 @@ class TestPersistence:
         np.savez_compressed(path, whatever=np.arange(3))
         with pytest.raises(CorruptIndexError):
             load_table(path)
+
+    def test_suffix_normalized_symmetrically(self, tmp_path):
+        # Historically save_table appended ".npz" (numpy behaviour) while
+        # load_table used the path verbatim, so save(p); load(p) failed.
+        # Both directions now normalize: suffixless paths gain ".npz".
+        table = generate_uniform_table(50, {"a": 4}, {"a": 0.2}, seed=9)
+        bare = tmp_path / "table"
+        save_table(table, bare)
+        assert not bare.exists()
+        assert (tmp_path / "table.npz").exists()
+        for spelling in (bare, tmp_path / "table.npz"):
+            loaded = load_table(spelling)
+            assert np.array_equal(loaded.column("a"), table.column("a"))
+
+    def test_explicit_suffix_not_doubled(self, tmp_path):
+        table = generate_uniform_table(50, {"a": 4}, {"a": 0.0}, seed=9)
+        path = tmp_path / "t.npz"
+        save_table(table, path)
+        assert path.exists()
+        assert not (tmp_path / "t.npz.npz").exists()
+        assert load_table(path).schema == table.schema
+
+    def test_save_reports_bytes_written(self, tmp_path):
+        table = generate_uniform_table(50, {"a": 4}, {"a": 0.0}, seed=9)
+        path = tmp_path / "t.npz"
+        assert save_table(table, path) == path.stat().st_size

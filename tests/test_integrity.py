@@ -1,0 +1,154 @@
+"""Unit tests for the storage-integrity layer: atomic writes + RPF1 frames.
+
+The load-bearing property: every byte of a framed file is covered by a
+checksum or a validated structural field, so *any* single-byte flip and
+*any* truncation raises :class:`CorruptIndexError` — these tests prove it
+exhaustively on a small frame rather than sampling.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import CorruptIndexError
+from repro.observability import use_registry
+from repro.storage.integrity import (
+    atomic_write,
+    build_frame,
+    crc32,
+    file_crc32,
+    is_framed,
+    parse_frame,
+    read_framed,
+    write_framed,
+)
+
+SECTIONS = [
+    ("meta", b"\x01\x02\x03hello"),
+    ("attr:a", bytes(range(47))),
+    ("attr:b", b""),  # empty payloads are legal
+]
+
+
+class TestAtomicWrite:
+    def test_writes_bytes_and_returns_size(self, tmp_path):
+        path = tmp_path / "out.bin"
+        assert atomic_write(path, b"payload") == 7
+        assert path.read_bytes() == b"payload"
+
+    def test_overwrites_existing_file(self, tmp_path):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old contents")
+        atomic_write(path, b"new")
+        assert path.read_bytes() == b"new"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "out.bin"
+        atomic_write(path, b"x" * 1000)
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_failed_write_leaves_target_and_no_temps(self, tmp_path, monkeypatch):
+        path = tmp_path / "out.bin"
+        path.write_bytes(b"old")
+
+        def explode(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(os, "replace", explode)
+        with pytest.raises(OSError, match="simulated"):
+            atomic_write(path, b"new")
+        monkeypatch.undo()
+        assert path.read_bytes() == b"old"
+        assert os.listdir(tmp_path) == ["out.bin"]
+
+    def test_counters(self, tmp_path):
+        with use_registry() as registry:
+            atomic_write(tmp_path / "a.bin", b"12345")
+        counters = registry.snapshot().counters
+        assert counters["storage.bytes_written"] >= 5
+        assert counters["storage.atomic_renames"] == 1
+
+
+class TestFrameRoundTrip:
+    def test_sections_survive(self):
+        frame = build_frame(SECTIONS)
+        assert is_framed(frame)
+        assert parse_frame(frame) == SECTIONS
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "framed.bin"
+        size = write_framed(path, SECTIONS)
+        assert path.stat().st_size == size
+        assert read_framed(path) == SECTIONS
+
+    def test_empty_section_list(self):
+        assert parse_frame(build_frame([])) == []
+
+    def test_crc32_is_stable(self):
+        assert crc32(b"") == 0
+        assert crc32(b"hello") == crc32(b"hello")
+        assert crc32(b"hello") != crc32(b"hellp")
+
+    def test_file_crc32(self, tmp_path):
+        path = tmp_path / "f.bin"
+        path.write_bytes(b"abc")
+        assert file_crc32(path) == (crc32(b"abc"), 3)
+
+
+class TestEveryByteIsLoadBearing:
+    """Exhaustive single-byte-flip and truncation coverage."""
+
+    def test_any_single_byte_flip_detected(self):
+        frame = bytearray(build_frame(SECTIONS))
+        for position in range(len(frame)):
+            corrupted = bytearray(frame)
+            corrupted[position] ^= 0x01
+            with pytest.raises(CorruptIndexError):
+                parse_frame(bytes(corrupted), source=f"flip@{position}")
+
+    def test_any_truncation_detected(self):
+        frame = build_frame(SECTIONS)
+        for cut in range(len(frame)):
+            with pytest.raises(CorruptIndexError):
+                parse_frame(frame[:cut], source=f"cut@{cut}")
+
+    def test_any_appended_garbage_detected(self):
+        frame = build_frame(SECTIONS)
+        with pytest.raises(CorruptIndexError, match="payload bytes"):
+            parse_frame(frame + b"\x00")
+
+    def test_checksum_failures_counted(self):
+        frame = bytearray(build_frame(SECTIONS))
+        frame[-1] ^= 0xFF  # last payload byte -> section CRC mismatch
+        with use_registry() as registry:
+            with pytest.raises(CorruptIndexError, match="attr:a|attr:b"):
+                parse_frame(bytes(frame))
+        assert registry.snapshot().counters["storage.checksum_failures"] == 1
+
+    def test_corruption_names_the_section(self):
+        frame = build_frame(SECTIONS)
+        # Flip a byte inside the second section's payload: the directory
+        # precedes the payloads, so damage lands in a named section.
+        payload_start = len(frame) - sum(len(p) for _, p in SECTIONS)
+        corrupted = bytearray(frame)
+        corrupted[payload_start + len(SECTIONS[0][1]) + 3] ^= 0x10
+        with pytest.raises(CorruptIndexError, match="attr:a"):
+            parse_frame(bytes(corrupted), source="x")
+
+
+class TestFrameValidation:
+    def test_not_a_frame(self):
+        with pytest.raises(CorruptIndexError, match="magic"):
+            parse_frame(b"RPIXwhatever-this-is-not-a-frame")
+
+    def test_unsupported_version(self):
+        frame = bytearray(build_frame(SECTIONS))
+        frame[4] = 99
+        with pytest.raises(CorruptIndexError, match="version"):
+            parse_frame(bytes(frame))
+
+    def test_error_names_the_source(self, tmp_path):
+        path = tmp_path / "broken.idx"
+        path.write_bytes(build_frame(SECTIONS)[:10])
+        with pytest.raises(CorruptIndexError, match="broken.idx"):
+            read_framed(path)

@@ -149,3 +149,49 @@ class TestVaFileRoundTrip:
         payload = dump_bitmap_index(RangeEncodedBitmapIndex(table))
         with pytest.raises(CorruptIndexError, match="VA-file"):
             load_vafile(payload, table)
+
+
+class TestFramingCompat:
+    """Saved files are RPF1-framed; pre-framing files still load."""
+
+    def test_saved_files_are_framed(self, table, tmp_path):
+        from repro.storage.integrity import is_framed, read_framed
+
+        bitmap_path = tmp_path / "ix.idx"
+        save_bitmap_index(EqualityEncodedBitmapIndex(table), bitmap_path)
+        va_path = tmp_path / "va.idx"
+        save_vafile(VAFile(table), va_path)
+        for path in (bitmap_path, va_path):
+            assert is_framed(path.read_bytes())
+            labels = [label for label, _ in read_framed(path)]
+            assert labels[0] == "meta"
+            assert set(labels[1:]) == {"attr:a", "attr:b"}
+
+    def test_frame_sections_concatenate_to_rpix_stream(self, table, tmp_path):
+        from repro.storage.integrity import read_framed
+
+        index = RangeEncodedBitmapIndex(table, codec="bbc")
+        path = tmp_path / "ix.idx"
+        save_bitmap_index(index, path)
+        payload = b"".join(body for _, body in read_framed(path))
+        assert payload == dump_bitmap_index(index)
+
+    def test_legacy_unframed_files_still_load(self, table, tmp_path):
+        from repro.observability import use_registry
+
+        index = EqualityEncodedBitmapIndex(table, codec="wah")
+        va = VAFile(table)
+        bitmap_path = tmp_path / "old-ix.idx"
+        bitmap_path.write_bytes(dump_bitmap_index(index))
+        va_path = tmp_path / "old-va.idx"
+        va_path.write_bytes(dump_vafile(va))
+        with use_registry() as registry:
+            loaded_ix = load_bitmap_index_file(bitmap_path)
+            loaded_va = load_vafile_file(va_path, table)
+        assert np.array_equal(
+            loaded_ix.execute_ids(QUERY, MissingSemantics.IS_MATCH),
+            index.execute_ids(QUERY, MissingSemantics.IS_MATCH),
+        )
+        assert np.array_equal(loaded_va.codes("a"), va.codes("a"))
+        counters = registry.snapshot().counters
+        assert counters["storage.legacy_loads"] == 2
