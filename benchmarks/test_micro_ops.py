@@ -41,6 +41,11 @@ def test_micro_wah_and_sparse(benchmark, sparse_pair):
     benchmark(lambda: a & b)
 
 
+def test_micro_wah_and_dense(benchmark, dense_pair):
+    a, b = dense_pair
+    benchmark(lambda: a & b)
+
+
 def test_micro_wah_or_dense(benchmark, dense_pair):
     a, b = dense_pair
     benchmark(lambda: a | b)

@@ -15,33 +15,58 @@ and re-encode.  That is deliberately literal-at-query: the paper chose WAH
 over BBC precisely because BBC's finer alignment makes compressed-domain
 operations 2–20x slower, and this codec exists to reproduce the *size* side
 of that trade-off (see the compression ablation benchmark).
+
+The token stream is stored as a read-only ``uint8`` numpy array, and the
+encode/decode passes are kernels in :mod:`repro.bitvector.kernels`, so the
+codec benefits from the same pluggable backends as WAH (vectorized numpy by
+default, byte-loop ``python`` reference; see ``docs/kernels.md``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.bitvector import kernels as _kernels
 from repro.bitvector.bitvector import BitVector
-from repro.errors import CorruptIndexError, ReproError
+from repro.errors import ReproError
 from repro.observability import enabled as _obs_enabled
 from repro.observability import record as _obs_record
 
-_FILL_FLAG = 0x80
-_FILL_BIT = 0x40
-_MAX_FILL_RUN = 0x3F  # 63 bytes per fill token
-_MAX_LITERAL_RUN = 0x7F  # 127 bytes per literal token
+_FILL_FLAG = _kernels.BBC_FILL_FLAG
+_FILL_BIT = _kernels.BBC_FILL_BIT
+_MAX_FILL_RUN = _kernels.BBC_MAX_FILL_RUN  # 63 bytes per fill token
+_MAX_LITERAL_RUN = _kernels.BBC_MAX_LITERAL_RUN  # 127 bytes per literal token
+
+
+def _as_byte_array(data: "bytes | bytearray | np.ndarray") -> np.ndarray:
+    """Normalize a token stream to a read-only uint8 array.
+
+    ``bytes`` payloads (and read-only buffer views from storage loads) are
+    aliased zero-copy; writable arrays are copied so instances stay
+    immutable.
+    """
+    if isinstance(data, np.ndarray):
+        arr = data.astype(np.uint8, copy=False)
+        if arr is data and arr.flags.writeable:
+            arr = arr.copy()
+    else:
+        arr = np.frombuffer(bytes(data), dtype=np.uint8)
+    if arr.flags.writeable:
+        arr.setflags(write=False)
+    return arr
 
 
 class BbcBitVector:
     """A BBC-compressed bitvector."""
 
-    __slots__ = ("_data", "_nbits")
+    __slots__ = ("_data", "_nbits", "_hash")
 
-    def __init__(self, nbits: int, data: bytes):
+    def __init__(self, nbits: int, data: "bytes | bytearray | np.ndarray"):
         if nbits < 0:
             raise ReproError(f"nbits must be >= 0, got {nbits}")
         self._nbits = nbits
-        self._data = data
+        self._data = _as_byte_array(data)
+        self._hash: int | None = None
 
     # -- constructors ------------------------------------------------------
 
@@ -49,44 +74,12 @@ class BbcBitVector:
     def compress(cls, vec: BitVector) -> "BbcBitVector":
         """Compress a verbatim bitvector."""
         raw = np.packbits(vec.to_bools(), bitorder="little")
-        out = bytearray()
-        n = len(raw)
-        i = 0
-        fill_tokens = 0
-        literal_tokens = 0
-        while i < n:
-            byte = raw[i]
-            if byte in (0x00, 0xFF):
-                j = i
-                while j < n and raw[j] == byte:
-                    j += 1
-                run = j - i
-                flag = _FILL_FLAG | (_FILL_BIT if byte == 0xFF else 0)
-                while run > 0:
-                    take = min(run, _MAX_FILL_RUN)
-                    out.append(flag | take)
-                    fill_tokens += 1
-                    run -= take
-                i = j
-            else:
-                j = i
-                while j < n and raw[j] not in (0x00, 0xFF):
-                    j += 1
-                run = j - i
-                start = i
-                while run > 0:
-                    take = min(run, _MAX_LITERAL_RUN)
-                    out.append(take)
-                    out.extend(raw[start : start + take].tobytes())
-                    literal_tokens += 1
-                    start += take
-                    run -= take
-                i = j
+        data, fill_tokens, literal_tokens = _kernels.get_backend().bbc_encode(raw)
         if _obs_enabled():
-            _obs_record("bbc.bytes_encoded", n)
+            _obs_record("bbc.bytes_encoded", len(raw))
             _obs_record("bbc.fill_tokens", fill_tokens)
             _obs_record("bbc.literal_tokens", literal_tokens)
-        return cls(vec.nbits, bytes(out))
+        return cls(vec.nbits, data)
 
     @classmethod
     def from_bools(cls, bools: np.ndarray) -> "BbcBitVector":
@@ -99,6 +92,15 @@ class BbcBitVector:
     def nbits(self) -> int:
         """Number of bits represented."""
         return self._nbits
+
+    @property
+    def data(self) -> np.ndarray:
+        """The BBC token stream as a read-only uint8 array."""
+        return self._data
+
+    def words32(self) -> int:
+        """Stored size in 32-bit word units (the paper's cost currency)."""
+        return (len(self._data) + 3) // 4
 
     def nbytes(self) -> int:
         """Compressed payload size in bytes."""
@@ -114,33 +116,13 @@ class BbcBitVector:
     def decompress(self) -> BitVector:
         """Expand back to a verbatim :class:`BitVector`."""
         expected_bytes = (self._nbits + 7) // 8
-        raw = bytearray()
-        data = self._data
-        i = 0
-        tokens = 0
-        while i < len(data):
-            control = data[i]
-            i += 1
-            tokens += 1
-            if control & _FILL_FLAG:
-                run = control & _MAX_FILL_RUN
-                if run == 0:
-                    raise CorruptIndexError("BBC fill token with zero length")
-                raw.extend((b"\xff" if control & _FILL_BIT else b"\x00") * run)
-            else:
-                if control == 0 or i + control > len(data):
-                    raise CorruptIndexError("BBC literal token truncated")
-                raw.extend(data[i : i + control])
-                i += control
-        if len(raw) != expected_bytes:
-            raise CorruptIndexError(
-                f"BBC stream decoded to {len(raw)} bytes, expected {expected_bytes}"
-            )
+        raw, tokens = _kernels.get_backend().bbc_decode(
+            self._data, expected_bytes
+        )
         if _obs_enabled():
             _obs_record("bbc.tokens_decoded", tokens)
             _obs_record("bbc.bytes_decoded", len(raw))
-        bits = np.unpackbits(np.frombuffer(bytes(raw), dtype=np.uint8),
-                             bitorder="little")
+        bits = np.unpackbits(raw, bitorder="little")
         return BitVector.from_bools(bits[: self._nbits].astype(bool))
 
     def count(self) -> int:
@@ -183,10 +165,14 @@ class BbcBitVector:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BbcBitVector):
             return NotImplemented
-        return self._nbits == other._nbits and self._data == other._data
+        return self._nbits == other._nbits and bool(
+            np.array_equal(self._data, other._data)
+        )
 
     def __hash__(self) -> int:
-        return hash((self._nbits, self._data))
+        if self._hash is None:
+            self._hash = hash((self._nbits, self._data.tobytes()))
+        return self._hash
 
     def __repr__(self) -> str:
         return (

@@ -37,7 +37,12 @@ class BitVector:
                 raise ReproError(
                     f"expected {num_words} words for {nbits} bits, got {len(words)}"
                 )
-            self._words = words.astype(np.uint64, copy=False)
+            words = words.astype(np.uint64, copy=False)
+            if not words.flags.writeable:
+                # e.g. an np.frombuffer view of a bytes payload: _mask_tail
+                # and the in-place kernels need a writable buffer.
+                words = words.copy()
+            self._words = words
             self._mask_tail()
 
     def _mask_tail(self) -> None:
@@ -125,6 +130,10 @@ class BitVector:
         denominator of every compression ratio in the paper.
         """
         return (self._nbits + 7) // 8
+
+    def words32(self) -> int:
+        """Stored size in 32-bit word units (the paper's cost currency)."""
+        return 2 * len(self._words)  # 64-bit words -> 32-bit word units
 
     # -- logical operations --------------------------------------------------
 

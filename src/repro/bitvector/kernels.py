@@ -1,0 +1,885 @@
+"""Pluggable word-level kernels behind the compressed bitvector codecs.
+
+The paper's central performance claim is that compressed bitmap query
+execution "only accesses words".  This module is where those word accesses
+actually happen: every WAH/BBC encode, decode, logical operation, and
+population count is implemented here as a *kernel* over numpy word arrays
+(``uint32`` WAH words, ``uint8`` BBC bytes), and the codec classes in
+:mod:`repro.bitvector.wah` / :mod:`repro.bitvector.bbc` dispatch to the
+active :class:`KernelBackend`.
+
+Three backends are provided:
+
+``python``
+    The reference implementation: the run-pair loop (`_RunReader` /
+    `_Builder`) and byte-wise BBC coder, one Python step per word.  Kept
+    verbatim so every other backend can be checked word-for-word against
+    it, and selectable for debugging via ``REPRO_BITVECTOR_BACKEND=python``.
+
+``numpy``
+    The default.  Logical ops use a vectorized run-merge: operand word
+    streams are turned into (value, length) run arrays, run boundaries are
+    merged with one ``union1d``/``searchsorted`` pass, and the result is
+    re-encoded with scatter writes — O(stored words), never materializing
+    the verbatim bitmap, so even a ``MAX_FILL_GROUPS``-long fill costs a
+    handful of array ops.  Dense operands (mostly literals) switch to a
+    decode → ufunc → re-encode path, which is faster when runs are short.
+
+``numba``
+    Registered only when :mod:`numba` is importable: the reference run-pair
+    loop compiled with ``@njit``.  Auto-selected at import when present.
+
+Every backend produces **word-identical** output — the same ``uint32``
+words, not merely the same bits — because every kernel emits the canonical
+WAH encoding (adjacent fills merged, all-zero/all-one literals folded into
+fills, over-long fills split ``[MAX] * (k-1) + [remainder]``).  The
+property tests in ``tests/bitvector/test_kernels.py`` enforce this across
+all registered backends.
+
+Backend selection: the ``REPRO_BITVECTOR_BACKEND`` environment variable
+wins, then ``numba`` when importable, then ``numpy``.  At runtime use
+:func:`set_backend` / :func:`use_backend`; see ``docs/kernels.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.errors import CorruptIndexError, ReproError
+
+__all__ = [
+    "FILL_BIT_FLAG",
+    "FILL_FLAG",
+    "GROUP_BITS",
+    "KernelBackend",
+    "LITERAL_MASK",
+    "MAX_FILL_GROUPS",
+    "WORD_BITS",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_backend",
+    "use_backend",
+]
+
+# -- WAH word layout (see repro.bitvector.wah for the format description) ----
+
+#: Bits per WAH word.
+WORD_BITS = 32
+#: Literal payload bits per word (the paper's ``w - 1``).
+GROUP_BITS = WORD_BITS - 1
+#: Mask selecting a literal payload.
+LITERAL_MASK = (1 << GROUP_BITS) - 1
+#: MSB flag marking a fill word.
+FILL_FLAG = 1 << (WORD_BITS - 1)
+#: Second-MSB flag holding a fill word's bit value.
+FILL_BIT_FLAG = 1 << (WORD_BITS - 2)
+#: Maximum number of groups one fill word can represent (``2**(w-2) - 1``).
+MAX_FILL_GROUPS = FILL_BIT_FLAG - 1
+
+_ALL_ONES_GROUP = LITERAL_MASK
+
+# -- BBC token layout (see repro.bitvector.bbc) ------------------------------
+
+BBC_FILL_FLAG = 0x80
+BBC_FILL_BIT = 0x40
+BBC_MAX_FILL_RUN = 0x3F  # 63 bytes per fill token
+BBC_MAX_LITERAL_RUN = 0x7F  # 127 bytes per literal token
+
+#: Opcode names shared by every backend's ``wah_binary``.
+WAH_OPCODES = ("and", "or", "xor", "andnot")
+
+_EMPTY_U32 = np.empty(0, dtype=np.uint32)
+_EMPTY_U8 = np.empty(0, dtype=np.uint8)
+
+
+def wah_stream_lengths(words: np.ndarray) -> np.ndarray:
+    """Groups covered by each word of a WAH stream (int64).
+
+    Raises :class:`CorruptIndexError` on zero-length fill words — the same
+    malformed streams the reference run reader rejects — so validation is
+    backend-independent.
+    """
+    is_fill = (words & np.uint32(FILL_FLAG)) != 0
+    lengths = np.where(
+        is_fill, words & np.uint32(MAX_FILL_GROUPS), 1
+    ).astype(np.int64)
+    if bool((lengths[is_fill] == 0).any()):
+        raise CorruptIndexError("WAH fill word with zero length")
+    return lengths
+
+
+def _wah_run_view(words: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Per-word ``(group value, run length)`` arrays for a WAH stream."""
+    is_fill = words >= np.uint32(FILL_FLAG)  # unsigned compare: MSB set
+    # A fill's group value is 0 or ALL_ONES depending on the fill bit; a
+    # literal's is the word itself (its MSB is clear).  The multiply keeps
+    # everything in one where instead of a nested pair.
+    fill_values = ((words >> np.uint32(WORD_BITS - 2)) & np.uint32(1)) * np.uint32(
+        _ALL_ONES_GROUP
+    )
+    values = np.where(is_fill, fill_values, words)
+    lengths = np.where(
+        is_fill, (words & np.uint32(MAX_FILL_GROUPS)).astype(np.int64), 1
+    )
+    return values, lengths
+
+
+def _encode_runs(
+    values: np.ndarray, lengths: np.ndarray, merged: bool = False
+) -> np.ndarray:
+    """Canonical WAH words for a sequence of (group value, run length) runs.
+
+    Adjacent equal-valued runs are merged (skipped when the caller already
+    guarantees adjacent-distinct values via ``merged=True``), 0/all-ones
+    runs become fills (split ``[MAX] * (k-1) + [remainder]``, matching the
+    reference builder), and literal-valued runs emit one word per group.
+    Run lengths are int64 so fills longer than ``MAX_FILL_GROUPS`` never
+    overflow.
+    """
+    if len(values) == 0:
+        return _EMPTY_U32
+    if not merged:
+        change = np.empty(len(values), dtype=bool)
+        change[0] = True
+        np.not_equal(values[1:], values[:-1], out=change[1:])
+        run_idx = np.flatnonzero(change)
+        if len(run_idx) != len(values):
+            values = values[run_idx]
+            lengths = np.add.reduceat(lengths, run_idx)
+    rvals = values
+    rlens = lengths
+    is_fill = (rvals == 0) | (rvals == _ALL_ONES_GROUP)
+    fill_flags = np.uint32(FILL_FLAG) | (
+        (rvals == _ALL_ONES_GROUP) * np.uint32(FILL_BIT_FLAG)
+    )
+    if int(rlens.max()) <= MAX_FILL_GROUPS:
+        # Common case: every fill fits one word.
+        base = np.where(is_fill, fill_flags | rlens.astype(np.uint32), rvals)
+        lit_multi = rlens > 1
+        lit_multi &= ~is_fill
+        if not lit_multi.any():
+            return base
+        return np.repeat(base, np.where(is_fill, 1, rlens))
+    # General path: some fill spans multiple words.
+    nwords = np.where(
+        is_fill, (rlens + MAX_FILL_GROUPS - 1) // MAX_FILL_GROUPS, rlens
+    )
+    base = np.where(
+        is_fill,
+        fill_flags | np.minimum(rlens, MAX_FILL_GROUPS).astype(np.uint32),
+        rvals,
+    ).astype(np.uint32, copy=False)
+    out = np.repeat(base, nwords)
+    # Over-long fills: every word but the last is a MAX fill; patch the tail.
+    out_starts = np.concatenate(([0], np.cumsum(nwords)[:-1]))
+    multi = is_fill & (nwords > 1)
+    tail_pos = (out_starts + nwords - 1)[multi]
+    remainder = (rlens - (nwords - 1) * MAX_FILL_GROUPS)[multi]
+    out[tail_pos] = fill_flags[multi] | remainder.astype(np.uint32)
+    return out
+
+
+# -- reference (pure Python) helpers -----------------------------------------
+
+
+class _Builder:
+    """Accumulates WAH words, merging adjacent compatible fills."""
+
+    __slots__ = ("words",)
+
+    def __init__(self) -> None:
+        self.words: list[int] = []
+
+    def append_literal(self, group: int) -> None:
+        if group == 0:
+            self.append_fill(1, 0)
+        elif group == _ALL_ONES_GROUP:
+            self.append_fill(1, 1)
+        else:
+            self.words.append(group)
+
+    def append_fill(self, ngroups: int, bit: int) -> None:
+        if ngroups <= 0:
+            return
+        flag = FILL_FLAG | (FILL_BIT_FLAG if bit else 0)
+        if self.words:
+            last = self.words[-1]
+            if (last & ~MAX_FILL_GROUPS) == flag:
+                combined = (last & MAX_FILL_GROUPS) + ngroups
+                if combined <= MAX_FILL_GROUPS:
+                    self.words[-1] = flag | combined
+                    return
+                self.words[-1] = flag | MAX_FILL_GROUPS
+                ngroups = combined - MAX_FILL_GROUPS
+        while ngroups > MAX_FILL_GROUPS:
+            self.words.append(flag | MAX_FILL_GROUPS)
+            ngroups -= MAX_FILL_GROUPS
+        self.words.append(flag | ngroups)
+
+
+class _RunReader:
+    """Sequential decoder exposing the current run of a WAH word stream."""
+
+    __slots__ = ("_words", "_pos", "_len", "ngroups", "literal", "is_fill")
+
+    def __init__(self, words: list[int]):
+        self._words = words
+        self._pos = 0
+        self._len = len(words)
+        self.ngroups = 0
+        self.literal = 0
+        self.is_fill = False
+
+    def load(self) -> bool:
+        """Advance to the next word; return False at end of stream."""
+        if self._pos >= self._len:
+            return False
+        word = self._words[self._pos]
+        self._pos += 1
+        if word & FILL_FLAG:
+            self.is_fill = True
+            self.ngroups = word & MAX_FILL_GROUPS
+            self.literal = _ALL_ONES_GROUP if word & FILL_BIT_FLAG else 0
+            if self.ngroups == 0:
+                raise CorruptIndexError("WAH fill word with zero length")
+        else:
+            self.is_fill = False
+            self.ngroups = 1
+            self.literal = word
+        return True
+
+    def consume(self, ngroups: int) -> None:
+        self.ngroups -= ngroups
+
+
+_PY_OPS: dict[str, Callable[[int, int], int]] = {
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+    "andnot": lambda a, b: a & (b ^ _ALL_ONES_GROUP),
+}
+
+_NP_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "and": np.bitwise_and,
+    "or": np.bitwise_or,
+    "xor": np.bitwise_xor,
+    "andnot": lambda a, b: np.bitwise_and(
+        a, np.bitwise_xor(b, np.uint32(_ALL_ONES_GROUP))
+    ),
+}
+
+
+# -- backend interface --------------------------------------------------------
+
+
+class KernelBackend:
+    """One implementation of the word-level codec kernels.
+
+    All WAH kernels exchange ``uint32`` word / group arrays; BBC kernels
+    exchange ``uint8`` byte arrays.  Implementations must emit canonical
+    encodings so results are word-identical across backends.
+    """
+
+    #: Registry name (``python`` | ``numpy`` | ``numba`` | ...).
+    name: str = "abstract"
+
+    # WAH ------------------------------------------------------------------
+
+    def wah_encode(self, groups: np.ndarray) -> np.ndarray:
+        """Canonical WAH words for an array of 31-bit group values."""
+        raise NotImplementedError
+
+    def wah_decode(self, words: np.ndarray, ngroups: int) -> np.ndarray:
+        """Per-group value array (uint32) for a WAH word stream."""
+        raise NotImplementedError
+
+    def wah_binary(
+        self, opcode: str, a: np.ndarray, b: np.ndarray, ngroups: int
+    ) -> np.ndarray:
+        """Compressed-domain binary op; ``opcode`` is one of WAH_OPCODES."""
+        raise NotImplementedError
+
+    def wah_or_many(
+        self, operands: list[np.ndarray], ngroups: int
+    ) -> np.ndarray:
+        """OR of several word streams (wide unions)."""
+        raise NotImplementedError
+
+    def wah_count(self, words: np.ndarray) -> int:
+        """Population count computed on the compressed words."""
+        raise NotImplementedError
+
+    # BBC ------------------------------------------------------------------
+
+    def bbc_encode(self, raw: np.ndarray) -> tuple[np.ndarray, int, int]:
+        """Encode verbatim bytes; returns (data, fill_tokens, literal_tokens)."""
+        raise NotImplementedError
+
+    def bbc_decode(
+        self, data: np.ndarray, expected_bytes: int
+    ) -> tuple[np.ndarray, int]:
+        """Decode a BBC byte stream; returns (raw bytes, tokens read)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+# -- python backend -----------------------------------------------------------
+
+
+class PythonKernels(KernelBackend):
+    """The reference implementation: one Python step per stored word."""
+
+    name = "python"
+
+    def wah_encode(self, groups: np.ndarray) -> np.ndarray:
+        builder = _Builder()
+        for group in groups.tolist():
+            builder.append_literal(group)
+        return np.asarray(builder.words, dtype=np.uint32)
+
+    def wah_decode(self, words: np.ndarray, ngroups: int) -> np.ndarray:
+        out: list[int] = []
+        for word in words.tolist():
+            if word & FILL_FLAG:
+                value = _ALL_ONES_GROUP if word & FILL_BIT_FLAG else 0
+                out.extend([value] * (word & MAX_FILL_GROUPS))
+            else:
+                out.append(word)
+        return np.asarray(out, dtype=np.uint32)
+
+    def wah_binary(
+        self, opcode: str, a: np.ndarray, b: np.ndarray, ngroups: int
+    ) -> np.ndarray:
+        op = _PY_OPS[opcode]
+        left = _RunReader(a.tolist())
+        right = _RunReader(b.tolist())
+        builder = _Builder()
+        remaining = ngroups
+        left_ok = left.load()
+        right_ok = right.load()
+        while remaining > 0:
+            if left.ngroups == 0:
+                left_ok = left.load()
+            if right.ngroups == 0:
+                right_ok = right.load()
+            if not (left_ok and right_ok):
+                raise CorruptIndexError("WAH stream ended before all groups read")
+            if left.is_fill and right.is_fill:
+                take = min(left.ngroups, right.ngroups)
+                merged = op(left.literal, right.literal)
+                if merged == 0:
+                    builder.append_fill(take, 0)
+                elif merged == _ALL_ONES_GROUP:
+                    builder.append_fill(take, 1)
+                else:  # pragma: no cover - AND/OR/XOR of fills is a fill
+                    for _ in range(take):
+                        builder.append_literal(merged)
+            else:
+                take = 1
+                builder.append_literal(op(left.literal, right.literal))
+            left.consume(take)
+            right.consume(take)
+            remaining -= take
+        return np.asarray(builder.words, dtype=np.uint32)
+
+    def wah_or_many(
+        self, operands: list[np.ndarray], ngroups: int
+    ) -> np.ndarray:
+        result = operands[0]
+        for other in operands[1:]:
+            result = self.wah_binary("or", result, other, ngroups)
+        return result
+
+    def wah_count(self, words: np.ndarray) -> int:
+        total = 0
+        for word in words.tolist():
+            if word & FILL_FLAG:
+                if word & FILL_BIT_FLAG:
+                    total += GROUP_BITS * (word & MAX_FILL_GROUPS)
+            else:
+                total += word.bit_count()
+        return total
+
+    def bbc_encode(self, raw: np.ndarray) -> tuple[np.ndarray, int, int]:
+        data = raw.tobytes()
+        out = bytearray()
+        n = len(data)
+        i = 0
+        fill_tokens = 0
+        literal_tokens = 0
+        while i < n:
+            byte = data[i]
+            if byte in (0x00, 0xFF):
+                j = i
+                while j < n and data[j] == byte:
+                    j += 1
+                run = j - i
+                flag = BBC_FILL_FLAG | (BBC_FILL_BIT if byte == 0xFF else 0)
+                while run > 0:
+                    take = min(run, BBC_MAX_FILL_RUN)
+                    out.append(flag | take)
+                    fill_tokens += 1
+                    run -= take
+                i = j
+            else:
+                j = i
+                while j < n and data[j] not in (0x00, 0xFF):
+                    j += 1
+                run = j - i
+                start = i
+                while run > 0:
+                    take = min(run, BBC_MAX_LITERAL_RUN)
+                    out.append(take)
+                    out.extend(data[start : start + take])
+                    literal_tokens += 1
+                    start += take
+                    run -= take
+                i = j
+        return (
+            np.frombuffer(bytes(out), dtype=np.uint8),
+            fill_tokens,
+            literal_tokens,
+        )
+
+    def bbc_decode(
+        self, data: np.ndarray, expected_bytes: int
+    ) -> tuple[np.ndarray, int]:
+        stream = data.tobytes()
+        raw = bytearray()
+        i = 0
+        tokens = 0
+        while i < len(stream):
+            control = stream[i]
+            i += 1
+            tokens += 1
+            if control & BBC_FILL_FLAG:
+                run = control & BBC_MAX_FILL_RUN
+                if run == 0:
+                    raise CorruptIndexError("BBC fill token with zero length")
+                raw.extend(
+                    (b"\xff" if control & BBC_FILL_BIT else b"\x00") * run
+                )
+            else:
+                if control == 0 or i + control > len(stream):
+                    raise CorruptIndexError("BBC literal token truncated")
+                raw.extend(stream[i : i + control])
+                i += control
+        if len(raw) != expected_bytes:
+            raise CorruptIndexError(
+                f"BBC stream decoded to {len(raw)} bytes, "
+                f"expected {expected_bytes}"
+            )
+        return np.frombuffer(bytes(raw), dtype=np.uint8), tokens
+
+
+# -- numpy backend ------------------------------------------------------------
+
+
+class NumpyKernels(KernelBackend):
+    """Vectorized kernels: run-merge logical ops, scatter-write encoders."""
+
+    name = "numpy"
+
+    def wah_encode(self, groups: np.ndarray) -> np.ndarray:
+        ngroups = len(groups)
+        if ngroups == 0:
+            return _EMPTY_U32
+        groups = groups.astype(np.uint32, copy=False)
+        change = np.empty(ngroups, dtype=bool)
+        change[0] = True
+        np.not_equal(groups[1:], groups[:-1], out=change[1:])
+        run_starts = np.flatnonzero(change)
+        run_lengths = np.empty(len(run_starts), dtype=np.int64)
+        np.subtract(run_starts[1:], run_starts[:-1], out=run_lengths[:-1])
+        run_lengths[-1] = ngroups - run_starts[-1]
+        return _encode_runs(groups[run_starts], run_lengths, merged=True)
+
+    def wah_decode(self, words: np.ndarray, ngroups: int) -> np.ndarray:
+        if len(words) == 0:
+            return _EMPTY_U32
+        if len(words) == ngroups and not bool(
+            (words >= np.uint32(FILL_FLAG)).any()
+        ):
+            return words  # all literals: the stream IS the group array
+        values, lengths = _wah_run_view(words)
+        return np.repeat(values, lengths)
+
+    def wah_binary(
+        self, opcode: str, a: np.ndarray, b: np.ndarray, ngroups: int
+    ) -> np.ndarray:
+        if ngroups == 0:
+            return _EMPTY_U32
+        ufunc = _NP_OPS[opcode]
+        # Mostly-literal operands: decoding to one group array and applying
+        # the ufunc beats the run merge (whose sorts pay off only when runs
+        # are long).  Both paths re-encode canonically, so the resulting
+        # words are identical either way.
+        if len(a) + len(b) > ngroups // 4:
+            merged = ufunc(self.wah_decode(a, ngroups), self.wah_decode(b, ngroups))
+            return self.wah_encode(merged)
+        va, la = _wah_run_view(a)
+        vb, lb = _wah_run_view(b)
+        ends_a = np.cumsum(la)
+        ends_b = np.cumsum(lb)
+        # Merged segment boundaries: every point where either stream's run
+        # ends.  Each segment maps to exactly one run of each operand, found
+        # with searchsorted on the cumulative ends.
+        ends = np.union1d(ends_a, ends_b)
+        starts = np.concatenate(([0], ends[:-1]))
+        ai = np.searchsorted(ends_a, starts, side="right")
+        bi = np.searchsorted(ends_b, starts, side="right")
+        if (ai >= len(va)).any() or (bi >= len(vb)).any():
+            raise CorruptIndexError("WAH stream ended before all groups read")
+        values = ufunc(va[ai], vb[bi])
+        return _encode_runs(values, ends - starts)
+
+    def wah_or_many(
+        self, operands: list[np.ndarray], ngroups: int
+    ) -> np.ndarray:
+        # Wide unions densify: decode each operand once into a group-array
+        # accumulator (FastBit does the same) and re-encode at the end.
+        acc = self.wah_decode(operands[0], ngroups).copy()
+        for other in operands[1:]:
+            np.bitwise_or(acc, self.wah_decode(other, ngroups), out=acc)
+        return self.wah_encode(acc)
+
+    def wah_count(self, words: np.ndarray) -> int:
+        if len(words) == 0:
+            return 0
+        is_fill = (words & np.uint32(FILL_FLAG)) != 0
+        one_fill = is_fill & ((words & np.uint32(FILL_BIT_FLAG)) != 0)
+        fill_bits = GROUP_BITS * int(
+            (words[one_fill] & np.uint32(MAX_FILL_GROUPS)).sum(dtype=np.int64)
+        )
+        literal_bits = int(np.bitwise_count(words[~is_fill]).sum(dtype=np.int64))
+        return fill_bits + literal_bits
+
+    def bbc_encode(self, raw: np.ndarray) -> tuple[np.ndarray, int, int]:
+        n = len(raw)
+        if n == 0:
+            return _EMPTY_U8, 0, 0
+        # Classify bytes: 1 = 0x00 fill, 2 = 0xFF fill, 0 = literal.  Runs
+        # of one class become token runs (same-class fill bytes are always
+        # the same byte; literal bytes chunk together regardless of value).
+        klass = np.where(raw == 0, 1, np.where(raw == 0xFF, 2, 0)).astype(np.int8)
+        change = np.empty(n, dtype=bool)
+        change[0] = True
+        np.not_equal(klass[1:], klass[:-1], out=change[1:])
+        run_starts = np.flatnonzero(change)
+        run_lens = np.diff(np.append(run_starts, n)).astype(np.int64)
+        run_class = klass[run_starts]
+        is_fill = run_class != 0
+        cap = np.where(is_fill, BBC_MAX_FILL_RUN, BBC_MAX_LITERAL_RUN)
+        ntok = (run_lens + cap - 1) // cap
+        run_bytes = np.where(is_fill, ntok, ntok + run_lens)
+        out_starts = np.concatenate(([0], np.cumsum(run_bytes)[:-1]))
+        out = np.zeros(int(run_bytes.sum()), dtype=np.uint8)
+        # Expand runs to tokens; the last token of a run takes the remainder.
+        tok_run = np.repeat(np.arange(len(run_starts)), ntok)
+        tok_firsts = np.concatenate(([0], np.cumsum(ntok)[:-1]))
+        tok_intra = np.arange(len(tok_run)) - np.repeat(tok_firsts, ntok)
+        tok_last = tok_intra == (ntok[tok_run] - 1)
+        tok_cap = cap[tok_run]
+        take = np.where(
+            tok_last, run_lens[tok_run] - tok_intra * tok_cap, tok_cap
+        )
+        tok_fill = is_fill[tok_run]
+        # Fill tokens are 1 byte each; literal tokens are 1 + 127 bytes
+        # except the last, so token t of a run starts at t * (cap + 1).
+        pos = out_starts[tok_run] + np.where(
+            tok_fill, tok_intra, tok_intra * (BBC_MAX_LITERAL_RUN + 1)
+        )
+        control = np.where(
+            tok_fill,
+            BBC_FILL_FLAG
+            | np.where(run_class[tok_run] == 2, BBC_FILL_BIT, 0)
+            | take,
+            take,
+        )
+        out[pos] = control.astype(np.uint8)
+        lit = ~tok_fill
+        if lit.any():
+            ptake = take[lit]
+            src = run_starts[tok_run[lit]] + tok_intra[lit] * BBC_MAX_LITERAL_RUN
+            total = int(ptake.sum())
+            firsts = np.concatenate(([0], np.cumsum(ptake)[:-1]))
+            rel = np.arange(total) - np.repeat(firsts, ptake)
+            out[np.repeat(pos[lit] + 1, ptake) + rel] = raw[
+                np.repeat(src, ptake) + rel
+            ]
+        return out, int(tok_fill.sum()), int(lit.sum())
+
+    def bbc_decode(
+        self, data: np.ndarray, expected_bytes: int
+    ) -> tuple[np.ndarray, int]:
+        # Token boundaries are data-dependent (a literal control byte says
+        # how many payload bytes follow), so the walk is per token — but
+        # tokens cover up to 127 bytes each, and all byte expansion below
+        # is vectorized.
+        stream = data.tobytes()
+        values: list[int] = []  # fill byte value; 0 placeholder for literals
+        lengths: list[int] = []
+        sources: list[int] = []  # payload offset for literals, -1 for fills
+        i = 0
+        while i < len(stream):
+            control = stream[i]
+            i += 1
+            if control & BBC_FILL_FLAG:
+                run = control & BBC_MAX_FILL_RUN
+                if run == 0:
+                    raise CorruptIndexError("BBC fill token with zero length")
+                values.append(0xFF if control & BBC_FILL_BIT else 0x00)
+                lengths.append(run)
+                sources.append(-1)
+            else:
+                if control == 0 or i + control > len(stream):
+                    raise CorruptIndexError("BBC literal token truncated")
+                values.append(0)
+                lengths.append(control)
+                sources.append(i)
+                i += control
+        tokens = len(lengths)
+        lens = np.asarray(lengths, dtype=np.int64)
+        total = int(lens.sum())
+        if total != expected_bytes:
+            raise CorruptIndexError(
+                f"BBC stream decoded to {total} bytes, "
+                f"expected {expected_bytes}"
+            )
+        out = np.repeat(np.asarray(values, dtype=np.uint8), lens)
+        src = np.asarray(sources, dtype=np.int64)
+        lit = src >= 0
+        if lit.any():
+            ptake = lens[lit]
+            offsets = np.concatenate(([0], np.cumsum(lens)[:-1]))[lit]
+            n = int(ptake.sum())
+            firsts = np.concatenate(([0], np.cumsum(ptake)[:-1]))
+            rel = np.arange(n) - np.repeat(firsts, ptake)
+            out[np.repeat(offsets, ptake) + rel] = data[
+                np.repeat(src[lit], ptake) + rel
+            ]
+        return out, tokens
+
+
+# -- numba backend (registered only when numba imports) ----------------------
+
+
+def _build_numba_backend() -> KernelBackend | None:
+    try:
+        import numba
+    except ImportError:
+        return None
+
+    u32 = np.uint32
+
+    @numba.njit(cache=True)
+    def _nb_binary(a, b, ngroups, opcode):  # pragma: no cover - needs numba
+        out = np.empty(len(a) + len(b) + 2, dtype=u32)
+        n = 0
+        ai = 0
+        bi = 0
+        a_len = 0
+        a_val = u32(0)
+        a_fill = False
+        b_len = 0
+        b_val = u32(0)
+        b_fill = False
+        remaining = ngroups
+        while remaining > 0:
+            if a_len == 0:
+                if ai >= len(a):
+                    raise ValueError("WAH stream ended before all groups read")
+                word = a[ai]
+                ai += 1
+                if word & u32(FILL_FLAG):
+                    a_fill = True
+                    a_len = int(word & u32(MAX_FILL_GROUPS))
+                    if a_len == 0:
+                        raise ValueError("WAH fill word with zero length")
+                    a_val = (
+                        u32(_ALL_ONES_GROUP)
+                        if word & u32(FILL_BIT_FLAG)
+                        else u32(0)
+                    )
+                else:
+                    a_fill = False
+                    a_len = 1
+                    a_val = word
+            if b_len == 0:
+                if bi >= len(b):
+                    raise ValueError("WAH stream ended before all groups read")
+                word = b[bi]
+                bi += 1
+                if word & u32(FILL_FLAG):
+                    b_fill = True
+                    b_len = int(word & u32(MAX_FILL_GROUPS))
+                    if b_len == 0:
+                        raise ValueError("WAH fill word with zero length")
+                    b_val = (
+                        u32(_ALL_ONES_GROUP)
+                        if word & u32(FILL_BIT_FLAG)
+                        else u32(0)
+                    )
+                else:
+                    b_fill = False
+                    b_len = 1
+                    b_val = word
+            if opcode == 0:
+                merged = a_val & b_val
+            elif opcode == 1:
+                merged = a_val | b_val
+            elif opcode == 2:
+                merged = a_val ^ b_val
+            else:
+                merged = a_val & (b_val ^ u32(_ALL_ONES_GROUP))
+            if a_fill and b_fill:
+                take = a_len if a_len < b_len else b_len
+            else:
+                take = 1
+            if merged == u32(0) or merged == u32(_ALL_ONES_GROUP):
+                flag = u32(FILL_FLAG)
+                if merged == u32(_ALL_ONES_GROUP):
+                    flag |= u32(FILL_BIT_FLAG)
+                pending = take
+                if n > 0 and (out[n - 1] & ~u32(MAX_FILL_GROUPS)) == flag:
+                    combined = int(out[n - 1] & u32(MAX_FILL_GROUPS)) + pending
+                    if combined <= MAX_FILL_GROUPS:
+                        out[n - 1] = flag | u32(combined)
+                        pending = 0
+                    else:
+                        out[n - 1] = flag | u32(MAX_FILL_GROUPS)
+                        pending = combined - MAX_FILL_GROUPS
+                while pending > MAX_FILL_GROUPS:
+                    out[n] = flag | u32(MAX_FILL_GROUPS)
+                    n += 1
+                    pending -= MAX_FILL_GROUPS
+                if pending > 0:
+                    out[n] = flag | u32(pending)
+                    n += 1
+            else:
+                out[n] = merged
+                n += 1
+            a_len -= take
+            b_len -= take
+            remaining -= take
+        return out[:n].copy()
+
+    @numba.njit(cache=True)
+    def _nb_count(words):  # pragma: no cover - needs numba
+        total = 0
+        for word in words:
+            if word & u32(FILL_FLAG):
+                if word & u32(FILL_BIT_FLAG):
+                    total += GROUP_BITS * int(word & u32(MAX_FILL_GROUPS))
+            else:
+                w = int(word)
+                bits = 0
+                while w:
+                    w &= w - 1
+                    bits += 1
+                total += bits
+        return total
+
+    _NB_OPCODES = {"and": 0, "or": 1, "xor": 2, "andnot": 3}
+
+    class NumbaKernels(NumpyKernels):
+        """Reference run-pair loop compiled with numba's ``@njit``.
+
+        Encode/decode and the BBC kernels inherit the vectorized numpy
+        implementations — the run-pair logical op and popcount are the
+        paths where a compiled loop beats array arithmetic.
+        """
+
+        name = "numba"
+
+        def wah_binary(self, opcode, a, b, ngroups):
+            if ngroups == 0:
+                return _EMPTY_U32
+            try:
+                return _nb_binary(a, b, ngroups, _NB_OPCODES[opcode])
+            except ValueError as exc:
+                raise CorruptIndexError(str(exc)) from exc
+
+        def wah_count(self, words):
+            return int(_nb_count(words))
+
+    return NumbaKernels()
+
+
+# -- registry -----------------------------------------------------------------
+
+_REGISTRY: dict[str, KernelBackend] = {}
+_ACTIVE: KernelBackend | None = None
+
+#: Environment variable forcing a backend at import time.
+BACKEND_ENV_VAR = "REPRO_BITVECTOR_BACKEND"
+
+
+def register_backend(backend: KernelBackend) -> KernelBackend:
+    """Add a backend to the registry (replacing any same-named one)."""
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of every registered backend."""
+    return tuple(_REGISTRY)
+
+
+def get_backend() -> KernelBackend:
+    """The active backend all codec operations dispatch to."""
+    return _ACTIVE  # type: ignore[return-value]
+
+
+def set_backend(name: str) -> str:
+    """Switch the active backend; returns the previous backend's name."""
+    global _ACTIVE
+    try:
+        backend = _REGISTRY[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown bitvector kernel backend {name!r}; "
+            f"available: {sorted(_REGISTRY)}"
+        )
+    previous = _ACTIVE.name if _ACTIVE is not None else backend.name
+    _ACTIVE = backend
+    return previous
+
+
+@contextmanager
+def use_backend(name: str) -> Iterator[KernelBackend]:
+    """Temporarily switch backends (tests, benchmarks)."""
+    previous = set_backend(name)
+    try:
+        yield get_backend()
+    finally:
+        set_backend(previous)
+
+
+def _default_backend_name() -> str:
+    forced = os.environ.get(BACKEND_ENV_VAR, "").strip()
+    if forced:
+        if forced not in _REGISTRY:
+            raise ReproError(
+                f"{BACKEND_ENV_VAR}={forced!r} names an unknown backend; "
+                f"available: {sorted(_REGISTRY)}"
+            )
+        return forced
+    if "numba" in _REGISTRY:
+        return "numba"
+    return "numpy"
+
+
+register_backend(PythonKernels())
+register_backend(NumpyKernels())
+_numba_backend = _build_numba_backend()
+if _numba_backend is not None:  # pragma: no cover - exercised only with numba
+    register_backend(_numba_backend)
+set_backend(_default_backend_name())

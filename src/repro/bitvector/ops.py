@@ -37,6 +37,7 @@ class BitVectorLike(Protocol):
     def count(self) -> int: ...
     def to_indices(self) -> np.ndarray: ...
     def nbytes(self) -> int: ...
+    def words32(self) -> int: ...
 
 
 V = TypeVar("V", bound=BitVectorLike)
@@ -70,17 +71,16 @@ def words_of(vec) -> int:
 
     This is the unit of the paper's implicit cost model: WAH logical
     operations "only access words", so the work a query does is proportional
-    to the stored words of its operands.  Verbatim bitvectors count their
-    full word extent; WAH counts compressed words; BBC counts payload bytes
-    scaled to words.
+    to the stored words of its operands.  Each codec reports its own size
+    through the ``words32()`` protocol method (verbatim bitvectors count
+    their full word extent; WAH counts compressed words; BBC counts payload
+    bytes scaled to words), so new codecs and backends participate in the
+    cost model without registering here.
     """
-    if isinstance(vec, WahBitVector):
-        return len(vec.words)
-    if isinstance(vec, BitVector):
-        return 2 * len(vec.words)  # 64-bit words -> 32-bit word units
-    if isinstance(vec, BbcBitVector):
-        return (vec.nbytes() + 3) // 4
-    raise ReproError(f"cannot size operand of type {type(vec).__name__}")
+    sizer = getattr(vec, "words32", None)
+    if sizer is None:
+        raise ReproError(f"cannot size operand of type {type(vec).__name__}")
+    return sizer()
 
 
 @dataclass

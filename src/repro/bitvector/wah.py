@@ -10,42 +10,67 @@ word we are dealing with"):
   and the remaining 30 bits store the fill length, counted in 31-bit groups.
 
 The word-alignment requirement on fills is what lets logical operations work
-directly on compressed operands: AND/OR/XOR below consume runs of groups from
-both inputs without ever materializing the verbatim bitmap, producing another
+directly on compressed operands: AND/OR/XOR consume runs of groups from both
+inputs without ever materializing the verbatim bitmap, producing another
 compressed bitvector — exactly the property the paper relies on for fast
 bitmap query execution.
+
+Words are stored as a read-only ``numpy`` ``uint32`` array, and every
+encode/decode/logical-op/count kernel lives in
+:mod:`repro.bitvector.kernels` behind a pluggable backend registry
+(``python`` reference, vectorized ``numpy`` default, optional ``numba``).
+All backends emit identical canonical words; see ``docs/kernels.md``.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterator
+from typing import Iterator
 
 import numpy as np
 
+from repro.bitvector import kernels as _kernels
 from repro.bitvector.bitvector import BitVector
+from repro.bitvector.kernels import (  # noqa: F401  (re-exported API)
+    FILL_BIT_FLAG,
+    FILL_FLAG,
+    GROUP_BITS,
+    LITERAL_MASK,
+    MAX_FILL_GROUPS,
+    WORD_BITS,
+    _ALL_ONES_GROUP,
+    _Builder,
+    _RunReader,
+)
 from repro.errors import CorruptIndexError, ReproError
 from repro.observability import enabled as _obs_enabled
 from repro.observability import record as _obs_record
 
-#: Bits per WAH word.
-WORD_BITS = 32
-#: Literal payload bits per word (the paper's ``w - 1``).
-GROUP_BITS = WORD_BITS - 1
-#: Mask selecting a literal payload.
-LITERAL_MASK = (1 << GROUP_BITS) - 1
-#: MSB flag marking a fill word.
-FILL_FLAG = 1 << (WORD_BITS - 1)
-#: Second-MSB flag holding a fill word's bit value.
-FILL_BIT_FLAG = 1 << (WORD_BITS - 2)
-#: Maximum number of groups one fill word can represent (``2**(w-2) - 1``).
-MAX_FILL_GROUPS = FILL_BIT_FLAG - 1
-
-_ALL_ONES_GROUP = LITERAL_MASK
+_EMPTY_WORDS = np.empty(0, dtype=np.uint32)
+_EMPTY_WORDS.setflags(write=False)
 
 
-def _fill_words_in(words: list[int]) -> int:
+def _as_word_array(words: "np.ndarray | list[int]") -> np.ndarray:
+    """Normalize caller-supplied words to a read-only uint32 array.
+
+    Accepts the historical ``list[int]`` form as well as any uint32 array.
+    Read-only arrays (e.g. zero-copy ``np.frombuffer`` views from storage
+    loads) are aliased as-is; writable caller arrays are copied so the new
+    instance can never observe later mutation.
+    """
+    if isinstance(words, np.ndarray):
+        arr = words.astype(np.uint32, copy=False)
+        if arr is words and arr.flags.writeable:
+            arr = arr.copy()
+    else:
+        arr = np.asarray(words, dtype=np.uint32)
+    if arr.flags.writeable:
+        arr.setflags(write=False)
+    return arr
+
+
+def _fill_words_in(words: np.ndarray) -> int:
     """Number of fill words in a WAH word stream."""
-    return sum(1 for word in words if word & FILL_FLAG)
+    return int(((words & np.uint32(FILL_FLAG)) != 0).sum())
 
 
 def _record_op_metrics(
@@ -54,10 +79,9 @@ def _record_op_metrics(
     """Account one compressed-domain logical operation's decode/emit work.
 
     Counts are derived from the operand word streams themselves, so they
-    are identical whichever execution path (run-pair loop or group-array
-    fast path) produced the result.  Callers gate on ``enabled()`` — the
-    fill/literal breakdown is a full pass over the operand words, which the
-    null-registry fast path must not pay.
+    are identical whichever kernel backend produced the result.  Callers
+    gate on ``enabled()`` — the fill/literal breakdown is a full pass over
+    the operand words, which the null-registry fast path must not pay.
     """
     decoded = sum(len(op._words) for op in operands)
     fills = sum(_fill_words_in(op._words) for op in operands)
@@ -68,86 +92,6 @@ def _record_op_metrics(
     _obs_record("wah.words_emitted", len(result._words))
 
 
-class _Builder:
-    """Accumulates WAH words, merging adjacent compatible fills."""
-
-    __slots__ = ("words",)
-
-    def __init__(self) -> None:
-        self.words: list[int] = []
-
-    def append_literal(self, group: int) -> None:
-        if group == 0:
-            self.append_fill(1, 0)
-        elif group == _ALL_ONES_GROUP:
-            self.append_fill(1, 1)
-        else:
-            self.words.append(group)
-
-    def append_fill(self, ngroups: int, bit: int) -> None:
-        if ngroups <= 0:
-            return
-        flag = FILL_FLAG | (FILL_BIT_FLAG if bit else 0)
-        if self.words:
-            last = self.words[-1]
-            if (last & ~MAX_FILL_GROUPS) == flag:
-                combined = (last & MAX_FILL_GROUPS) + ngroups
-                if combined <= MAX_FILL_GROUPS:
-                    self.words[-1] = flag | combined
-                    return
-                self.words[-1] = flag | MAX_FILL_GROUPS
-                ngroups = combined - MAX_FILL_GROUPS
-        while ngroups > MAX_FILL_GROUPS:
-            self.words.append(flag | MAX_FILL_GROUPS)
-            ngroups -= MAX_FILL_GROUPS
-        self.words.append(flag | ngroups)
-
-
-class _RunReader:
-    """Sequential decoder exposing the current run of a WAH word stream."""
-
-    __slots__ = ("_words", "_pos", "_len", "ngroups", "literal", "is_fill")
-
-    def __init__(self, words: list[int]):
-        self._words = words
-        self._pos = 0
-        self._len = len(words)
-        self.ngroups = 0
-        self.literal = 0
-        self.is_fill = False
-
-    def load(self) -> bool:
-        """Advance to the next word; return False at end of stream."""
-        if self._pos >= self._len:
-            return False
-        word = self._words[self._pos]
-        self._pos += 1
-        if word & FILL_FLAG:
-            self.is_fill = True
-            self.ngroups = word & MAX_FILL_GROUPS
-            self.literal = _ALL_ONES_GROUP if word & FILL_BIT_FLAG else 0
-            if self.ngroups == 0:
-                raise CorruptIndexError("WAH fill word with zero length")
-        else:
-            self.is_fill = False
-            self.ngroups = 1
-            self.literal = word
-        return True
-
-    def consume(self, ngroups: int) -> None:
-        self.ngroups -= ngroups
-
-
-def _groups_of(vec: BitVector) -> np.ndarray:
-    """The 31-bit groups of a verbatim bitvector as a uint64 array."""
-    bools = vec.to_bools()
-    ngroups = (len(bools) + GROUP_BITS - 1) // GROUP_BITS
-    padded = np.zeros(ngroups * GROUP_BITS, dtype=bool)
-    padded[: len(bools)] = bools
-    weights = (np.uint64(1) << np.arange(GROUP_BITS, dtype=np.uint64))
-    return padded.reshape(ngroups, GROUP_BITS) @ weights
-
-
 class WahBitVector:
     """A WAH-compressed bitvector supporting compressed-domain logic ops.
 
@@ -155,21 +99,33 @@ class WahBitVector:
     :meth:`from_bools`, :meth:`zeros`, or :meth:`ones`.
     """
 
-    __slots__ = ("_words", "_nbits", "_np_cache")
+    __slots__ = ("_words", "_nbits", "_hash")
 
-    def __init__(self, nbits: int, words: list[int]):
+    def __init__(self, nbits: int, words: "np.ndarray | list[int]"):
         if nbits < 0:
             raise ReproError(f"nbits must be >= 0, got {nbits}")
         self._nbits = nbits
-        self._words = words
-        self._np_cache: np.ndarray | None = None
-        if sum(_word_groups(w) for w in words) != self.ngroups:
+        self._words = _as_word_array(words)
+        self._hash: int | None = None
+        covered = int(_kernels.wah_stream_lengths(self._words).sum())
+        if covered != self.ngroups:
             raise CorruptIndexError(
-                f"WAH words cover {sum(_word_groups(w) for w in words)} groups, "
+                f"WAH words cover {covered} groups, "
                 f"expected {self.ngroups} for {nbits} bits"
             )
 
     # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def _from_words(cls, nbits: int, words: np.ndarray) -> "WahBitVector":
+        """Wrap kernel output without re-validating the stream."""
+        vec = object.__new__(cls)
+        vec._nbits = nbits
+        if words.flags.writeable:
+            words.setflags(write=False)
+        vec._words = words
+        vec._hash = None
+        return vec
 
     @classmethod
     def compress(cls, vec: BitVector) -> "WahBitVector":
@@ -178,111 +134,43 @@ class WahBitVector:
 
     @classmethod
     def _from_group_array(cls, nbits: int, groups: np.ndarray) -> "WahBitVector":
-        """Encode an array of 31-bit group values (canonical form).
-
-        Fully vectorized: run boundaries come from one ``diff`` pass, fill
-        words are scattered in one assignment, and literal runs are copied
-        verbatim with one fancy-index write.  Adjacent runs always differ in
-        value, so fills never need post-hoc merging.
-        """
-        ngroups = len(groups)
-        if ngroups == 0:
-            return cls(nbits, [])
-        groups = groups.astype(np.uint32, copy=False)
-        change = np.empty(ngroups, dtype=bool)
-        change[0] = True
-        np.not_equal(groups[1:], groups[:-1], out=change[1:])
-        run_starts = np.flatnonzero(change)
-        run_values = groups[run_starts]
-        run_lengths = np.diff(np.append(run_starts, ngroups))
-        if int(run_lengths.max()) > MAX_FILL_GROUPS:  # pragma: no cover - 33 Gbit
-            return cls._from_group_array_slow(nbits, groups)
-        is_fill = (run_values == 0) | (run_values == _ALL_ONES_GROUP)
-        out_counts = np.where(is_fill, 1, run_lengths)
-        out_starts = np.concatenate(([0], np.cumsum(out_counts)[:-1]))
-        out = np.empty(int(out_counts.sum()), dtype=np.uint32)
-        # Fill words in one scatter.
-        fill_bit = np.where(
-            run_values[is_fill] == _ALL_ONES_GROUP, FILL_BIT_FLAG, 0
-        ).astype(np.uint32)
-        out[out_starts[is_fill]] = (
-            np.uint32(FILL_FLAG) | fill_bit | run_lengths[is_fill].astype(np.uint32)
+        """Encode an array of 31-bit group values (canonical form)."""
+        return cls._from_words(
+            nbits, _kernels.get_backend().wah_encode(groups)
         )
-        # Literal runs copied verbatim: out index = out_start + (pos - run_start).
-        lit = ~is_fill
-        if lit.any():
-            elem_is_lit = np.repeat(lit, run_lengths)
-            offsets = np.repeat(out_starts[lit] - run_starts[lit], run_lengths[lit])
-            positions = np.flatnonzero(elem_is_lit)
-            out[positions + offsets] = groups[positions]
-        return cls(nbits, out.tolist())
-
-    @classmethod
-    def _from_group_array_slow(
-        cls, nbits: int, groups: np.ndarray
-    ) -> "WahBitVector":  # pragma: no cover - only for >2**30-group fills
-        builder = _Builder()
-        boundaries = np.flatnonzero(np.diff(groups)) + 1
-        start = 0
-        for end in [*boundaries.tolist(), len(groups)]:
-            value = int(groups[start])
-            run = end - start
-            if value == 0:
-                builder.append_fill(run, 0)
-            elif value == _ALL_ONES_GROUP:
-                builder.append_fill(run, 1)
-            else:
-                builder.words.extend([value] * run)
-            start = end
-        return cls(nbits, builder.words)
-
-    def _words_np(self) -> np.ndarray:
-        if self._np_cache is None:
-            self._np_cache = np.array(self._words, dtype=np.uint32)
-        return self._np_cache
 
     def _group_array(self) -> np.ndarray:
         """Decode the compressed words to a per-group value array."""
-        words = self._words_np()
-        if len(words) == 0:
-            return np.empty(0, dtype=np.uint32)
-        is_fill = (words & np.uint32(FILL_FLAG)) != 0
-        lengths = np.where(is_fill, words & np.uint32(MAX_FILL_GROUPS), 1)
-        values = np.where(
-            is_fill,
-            np.where(
-                (words & np.uint32(FILL_BIT_FLAG)) != 0,
-                np.uint32(_ALL_ONES_GROUP),
-                np.uint32(0),
-            ),
-            words & np.uint32(LITERAL_MASK),
-        )
-        return np.repeat(values, lengths)
+        return _kernels.get_backend().wah_decode(self._words, self.ngroups)
 
     @classmethod
     def from_bools(cls, bools: np.ndarray) -> "WahBitVector":
         """Compress a boolean array."""
-        return cls.compress(BitVector.from_bools(bools))
+        bools = np.asarray(bools, dtype=bool)
+        nbits = len(bools)
+        ngroups = (nbits + GROUP_BITS - 1) // GROUP_BITS
+        padded = np.zeros(ngroups * GROUP_BITS, dtype=bool)
+        padded[:nbits] = bools
+        groups = _pack_groups(padded, ngroups)
+        return cls._from_group_array(nbits, groups)
 
     @classmethod
     def zeros(cls, nbits: int) -> "WahBitVector":
         """An all-zero compressed vector."""
-        builder = _Builder()
-        builder.append_fill((nbits + GROUP_BITS - 1) // GROUP_BITS, 0)
-        return cls(nbits, builder.words)
+        ngroups = (nbits + GROUP_BITS - 1) // GROUP_BITS
+        return cls._from_words(nbits, _fill_run(ngroups, 0))
 
     @classmethod
     def ones(cls, nbits: int) -> "WahBitVector":
         """An all-one compressed vector (tail bits beyond ``nbits`` clear)."""
         ngroups = (nbits + GROUP_BITS - 1) // GROUP_BITS
         tail = nbits % GROUP_BITS
-        builder = _Builder()
         if tail:
-            builder.append_fill(ngroups - 1, 1)
-            builder.append_literal((1 << tail) - 1)
+            head = _fill_run(ngroups - 1, 1)
+            words = np.append(head, np.uint32((1 << tail) - 1))
         else:
-            builder.append_fill(ngroups, 1)
-        return cls(nbits, builder.words)
+            words = _fill_run(ngroups, 1)
+        return cls._from_words(nbits, words)
 
     # -- accessors ---------------------------------------------------------
 
@@ -297,13 +185,17 @@ class WahBitVector:
         return (self._nbits + GROUP_BITS - 1) // GROUP_BITS
 
     @property
-    def words(self) -> list[int]:
-        """The compressed 32-bit words (do not mutate)."""
+    def words(self) -> np.ndarray:
+        """The compressed 32-bit words as a read-only uint32 array."""
         return self._words
+
+    def words32(self) -> int:
+        """Stored size in 32-bit word units (the paper's cost currency)."""
+        return len(self._words)
 
     def nbytes(self) -> int:
         """Compressed payload size in bytes (4 bytes per WAH word)."""
-        return 4 * len(self._words)
+        return int(self._words.nbytes)
 
     def compression_ratio(self) -> float:
         """Compressed size over verbatim size; < 1 means compression helped."""
@@ -314,14 +206,7 @@ class WahBitVector:
 
     def count(self) -> int:
         """Number of 1-bits, computed on the compressed form."""
-        total = 0
-        for word in self._words:
-            if word & FILL_FLAG:
-                if word & FILL_BIT_FLAG:
-                    total += GROUP_BITS * (word & MAX_FILL_GROUPS)
-            else:
-                total += word.bit_count()
-        return total
+        return _kernels.get_backend().wah_count(self._words)
 
     def density(self) -> float:
         """Fraction of 1-bits."""
@@ -333,7 +218,8 @@ class WahBitVector:
         """Expand back to a verbatim :class:`BitVector`."""
         groups = self._group_array()
         bits = (
-            groups[:, None] >> np.arange(GROUP_BITS, dtype=np.uint64)[None, :]
+            groups[:, None].astype(np.uint64)
+            >> np.arange(GROUP_BITS, dtype=np.uint64)[None, :]
         ) & np.uint64(1)
         bools = bits.reshape(-1)[: self._nbits].astype(bool)
         return BitVector.from_bools(bools)
@@ -348,7 +234,7 @@ class WahBitVector:
 
     def runs(self) -> Iterator[tuple[bool, int, int]]:
         """Yield ``(is_fill, literal_or_fill_value, ngroups)`` per word."""
-        for word in self._words:
+        for word in self._words.tolist():
             if word & FILL_FLAG:
                 bit = 1 if word & FILL_BIT_FLAG else 0
                 yield True, bit, word & MAX_FILL_GROUPS
@@ -357,65 +243,24 @@ class WahBitVector:
 
     # -- logical operations -------------------------------------------------
 
-    def _binary_op(
-        self,
-        other: "WahBitVector",
-        op: Callable[[int, int], int],
-        ufunc: np.ufunc,
-    ) -> "WahBitVector":
+    def _binary_op(self, other: "WahBitVector", opcode: str) -> "WahBitVector":
         if not isinstance(other, WahBitVector):
             raise TypeError(f"expected WahBitVector, got {type(other).__name__}")
         if other._nbits != self._nbits:
             raise ReproError(
                 f"bitvector length mismatch: {self._nbits} vs {other._nbits}"
             )
-        # Fast path for poorly compressed operands: run-pair iteration costs
-        # one Python step per word, so when the streams are mostly literals
-        # it is cheaper to decode both to group arrays and apply the ufunc.
-        # The result is identical (group-array re-encoding is canonical).
-        if len(self._words) + len(other._words) > self.ngroups // 4:
-            merged = ufunc(self._group_array(), other._group_array())
-            result = WahBitVector._from_group_array(self._nbits, merged)
-            if _obs_enabled():
-                _record_op_metrics([self, other], result)
-            return result
-        left = _RunReader(self._words)
-        right = _RunReader(other._words)
-        builder = _Builder()
-        remaining = self.ngroups
-        left_ok = left.load()
-        right_ok = right.load()
-        while remaining > 0:
-            if left.ngroups == 0:
-                left_ok = left.load()
-            if right.ngroups == 0:
-                right_ok = right.load()
-            if not (left_ok and right_ok):
-                raise CorruptIndexError("WAH stream ended before all groups read")
-            if left.is_fill and right.is_fill:
-                take = min(left.ngroups, right.ngroups)
-                merged = op(left.literal, right.literal)
-                if merged == 0:
-                    builder.append_fill(take, 0)
-                elif merged == _ALL_ONES_GROUP:
-                    builder.append_fill(take, 1)
-                else:  # pragma: no cover - AND/OR/XOR of fills is a fill
-                    for _ in range(take):
-                        builder.append_literal(merged)
-            else:
-                take = 1
-                builder.append_literal(op(left.literal, right.literal))
-            left.consume(take)
-            right.consume(take)
-            remaining -= take
-        result = WahBitVector(self._nbits, builder.words)
+        words = _kernels.get_backend().wah_binary(
+            opcode, self._words, other._words, self.ngroups
+        )
+        result = WahBitVector._from_words(self._nbits, words)
         if _obs_enabled():
             _record_op_metrics([self, other], result)
         return result
 
     @classmethod
     def or_many(cls, operands: list["WahBitVector"]) -> "WahBitVector":
-        """OR several compressed vectors via a group-array accumulator.
+        """OR several compressed vectors in one pass.
 
         Wide unions (equality-encoded range queries OR dozens of value
         bitmaps) degrade under pairwise compressed ops because the
@@ -434,22 +279,22 @@ class WahBitVector:
                 )
         if len(operands) == 1:
             return first
-        acc = first._group_array().copy()
-        for other in operands[1:]:
-            np.bitwise_or(acc, other._group_array(), out=acc)
-        result = cls._from_group_array(first._nbits, acc)
+        words = _kernels.get_backend().wah_or_many(
+            [op._words for op in operands], first.ngroups
+        )
+        result = cls._from_words(first._nbits, words)
         if _obs_enabled():
             _record_op_metrics(operands, result, ops=len(operands) - 1)
         return result
 
     def __and__(self, other: "WahBitVector") -> "WahBitVector":
-        return self._binary_op(other, lambda a, b: a & b, np.bitwise_and)
+        return self._binary_op(other, "and")
 
     def __or__(self, other: "WahBitVector") -> "WahBitVector":
-        return self._binary_op(other, lambda a, b: a | b, np.bitwise_or)
+        return self._binary_op(other, "or")
 
     def __xor__(self, other: "WahBitVector") -> "WahBitVector":
-        return self._binary_op(other, lambda a, b: a ^ b, np.bitwise_xor)
+        return self._binary_op(other, "xor")
 
     def __invert__(self) -> "WahBitVector":
         # NOT is XOR with the all-ones vector whose tail bits (beyond nbits)
@@ -458,27 +303,63 @@ class WahBitVector:
 
     def andnot(self, other: "WahBitVector") -> "WahBitVector":
         """``self & ~other`` on the compressed forms."""
-        return self._binary_op(
-            other,
-            lambda a, b: a & (b ^ _ALL_ONES_GROUP),
-            lambda a, b: a & (b ^ np.uint64(_ALL_ONES_GROUP)),
-        )
+        return self._binary_op(other, "andnot")
 
     # -- comparisons ---------------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, WahBitVector):
             return NotImplemented
-        return self._nbits == other._nbits and self._words == other._words
+        return self._nbits == other._nbits and bool(
+            np.array_equal(self._words, other._words)
+        )
 
     def __hash__(self) -> int:
-        return hash((self._nbits, tuple(self._words)))
+        # Cached: SubResultCache hashes the same vector once per probe, and
+        # instances are immutable so the digest never changes.
+        if self._hash is None:
+            self._hash = hash((self._nbits, self._words.tobytes()))
+        return self._hash
 
     def __repr__(self) -> str:
         return (
             f"WahBitVector(nbits={self._nbits}, words={len(self._words)}, "
             f"ratio={self.compression_ratio():.3f})"
         )
+
+
+def _fill_run(ngroups: int, bit: int) -> np.ndarray:
+    """Canonical fill-word stream covering ``ngroups`` groups of ``bit``."""
+    if ngroups <= 0:
+        return _EMPTY_WORDS
+    flag = FILL_FLAG | (FILL_BIT_FLAG if bit else 0)
+    nwords = (ngroups + MAX_FILL_GROUPS - 1) // MAX_FILL_GROUPS
+    words = np.full(nwords, flag | MAX_FILL_GROUPS, dtype=np.uint32)
+    words[-1] = flag | (ngroups - (nwords - 1) * MAX_FILL_GROUPS)
+    return words
+
+
+def _pack_groups(padded: np.ndarray, ngroups: int) -> np.ndarray:
+    """Pack a (ngroups * 31)-long bool array into uint32 group values.
+
+    Each 31-bit group is padded to 32 bits (zero MSB) and packed with
+    ``np.packbits`` — one C pass instead of a bool-matrix matmul.
+    """
+    if ngroups == 0:
+        return np.empty(0, dtype=np.uint32)
+    wide = np.zeros((ngroups, WORD_BITS), dtype=bool)
+    wide[:, :GROUP_BITS] = padded.reshape(ngroups, GROUP_BITS)
+    packed = np.packbits(wide.reshape(-1), bitorder="little")
+    return packed.view("<u4").astype(np.uint32, copy=False)
+
+
+def _groups_of(vec: BitVector) -> np.ndarray:
+    """The 31-bit groups of a verbatim bitvector as a uint32 array."""
+    bools = vec.to_bools()
+    ngroups = (len(bools) + GROUP_BITS - 1) // GROUP_BITS
+    padded = np.zeros(ngroups * GROUP_BITS, dtype=bool)
+    padded[: len(bools)] = bools
+    return _pack_groups(padded, ngroups)
 
 
 def _word_groups(word: int) -> int:

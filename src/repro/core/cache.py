@@ -111,7 +111,10 @@ class SubResultCache:
         value.  A value whose ``nbytes()`` exceeds the whole budget is
         dropped on the floor rather than wiping the cache to make room.
         """
-        nbytes = value.nbytes()
+        # Codecs report their payload-array extent (which may be a zero-copy
+        # view of a loaded file buffer); coerce to a plain int so numpy
+        # integer types never leak into the budget arithmetic or stats.
+        nbytes = int(value.nbytes())
         if self._max_bytes is not None and nbytes > self._max_bytes:
             return
         evicted = 0

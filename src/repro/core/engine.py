@@ -727,9 +727,12 @@ class IncompleteDatabase:
 
     def summary(self) -> str:
         """Multi-line overview: table shape, attached indexes, query counts."""
+        from repro.bitvector.kernels import get_backend
+
         lines = [
             f"IncompleteDatabase: {self._table.num_records} records, "
             f"{len(self._table.schema.names)} attributes",
+            f"  bitvector kernels: {get_backend().name} backend",
         ]
         if not self._indexes:
             lines.append("  indexes: (none; queries fall back to scan)")

@@ -7,12 +7,16 @@ Usage::
     python -m repro.experiments --only fig4a fig5c
     python -m repro.experiments fsck DIR        # verify a sharded save
     python -m repro.experiments fsck DIR --deep # ... parsing every payload
+    python -m repro.experiments bench           # perf suites -> BENCH_*.json
+    python -m repro.experiments bench micro_ops --check
 
 Each experiment prints the same series the paper plots; EXPERIMENTS.md
 records a reference run next to the paper's reported values.  The ``fsck``
 subcommand walks a directory written by ``save_sharded`` and reports every
 file as ok/corrupt/missing/orphan (see ``docs/persistence.md``); its exit
-status is non-zero when anything is corrupt or missing.
+status is non-zero when anything is corrupt or missing.  The ``bench``
+subcommand runs the tracked performance suites and writes machine-readable
+``BENCH_<area>.json`` files (see ``docs/kernels.md``).
 """
 
 from __future__ import annotations
@@ -91,6 +95,10 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv[:1] == ["fsck"]:
         return _fsck_main(argv[1:])
+    if argv[:1] == ["bench"]:
+        from repro.experiments.bench import bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures and tables.",

@@ -799,10 +799,13 @@ class ShardedDatabase:
 
     def summary(self) -> str:
         """Multi-line overview: shards, per-shard sizes, indexes, caches."""
+        from repro.bitvector.kernels import get_backend
+
         lines = [
             f"ShardedDatabase: {self.num_records} records in "
             f"{self.num_shards} shards ({self.partitioner_name}), "
             f"{len(self._table.schema.names)} attributes",
+            f"  bitvector kernels: {get_backend().name} backend",
         ]
         if not self._index_meta:
             lines.append("  indexes: (none; queries fall back to scan)")

@@ -52,29 +52,31 @@ def _vector_payload(vec) -> bytes:
     if isinstance(vec, BitVector):
         return vec.words.tobytes()
     if isinstance(vec, WahBitVector):
-        return np.array(vec.words, dtype=np.uint32).tobytes()
+        return vec.words.tobytes()
     if isinstance(vec, BbcBitVector):
-        return bytes(vec._data)
+        return vec.data.tobytes()
     raise ReproError(f"cannot serialize bitvector type {type(vec).__name__}")
 
 
 def _vector_from_payload(codec: str, nbits: int, payload: bytes):
+    # Loader buffer discipline: WAH and BBC instances are immutable, so
+    # their payloads stay zero-copy read-only np.frombuffer views of the
+    # file bytes; BitVector needs a writable buffer (tail masking and
+    # in-place kernels), so its constructor copies the read-only view.
     if codec == "none":
         if len(payload) % 8:
             raise CorruptIndexError(
                 f"verbatim payload of {len(payload)} bytes is not 64-bit aligned"
             )
-        words = np.frombuffer(payload, dtype=np.uint64).copy()
-        return BitVector(nbits, words)
+        return BitVector(nbits, np.frombuffer(payload, dtype=np.uint64))
     if codec == "wah":
         if len(payload) % 4:
             raise CorruptIndexError(
                 f"WAH payload of {len(payload)} bytes is not word aligned"
             )
-        words = np.frombuffer(payload, dtype=np.uint32)
-        return WahBitVector(nbits, [int(w) for w in words])
+        return WahBitVector(nbits, np.frombuffer(payload, dtype=np.uint32))
     if codec == "bbc":
-        vec = BbcBitVector(nbits, payload)
+        vec = BbcBitVector(nbits, np.frombuffer(payload, dtype=np.uint8))
         vec.decompress()  # eager validation of the stream
         return vec
     raise CorruptIndexError(f"unknown codec {codec!r} in index file")
