@@ -59,6 +59,19 @@ class CacheStats:
             return 0.0
         return self.hits / lookups
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form (used by the ``/varz`` telemetry route)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "hit_rate": self.hit_rate,
+        }
+
 
 class SubResultCache:
     """An LRU map from sub-result keys to bitvectors, bounded in bytes.

@@ -399,6 +399,7 @@ class IncompleteDatabase:
         cache: SubResultCache | None = None,
         shared_masks: dict | None = None,
         planned: tuple | None = None,
+        recorded: bool = True,
     ) -> QueryReport:
         """Shared single-query path behind :meth:`execute` / :meth:`execute_batch`.
 
@@ -408,12 +409,21 @@ class IncompleteDatabase:
         work is redone.  ``cache`` and ``shared_masks`` thread the batch
         sub-result stores into the access methods that understand them;
         both default off, so :meth:`execute` stays cache-free.
+
+        ``recorded=False`` keeps this execution out of the installed
+        :class:`~repro.observability.WorkloadRecorder` — the sharded
+        scatter-gather path uses it so a fan-out produces one shard-level
+        record instead of one per shard.  When the recorder's slow-query
+        log wants span trees, a trace is force-built for the log but never
+        attached to the report unless the caller asked for one.
         """
+        recorder = obs.get_recorder()
+        recording = recorded and recorder.active
         qtrace = (
             obs.QueryTrace(
                 "query", query=repr(query), semantics=semantics.value
             )
-            if trace
+            if trace or (recording and recorder.wants_trace)
             else None
         )
         context = obs.activate(qtrace) if qtrace is not None else nullcontext()
@@ -495,11 +505,23 @@ class IncompleteDatabase:
             if track is not None:
                 qtrace.root.set("actual_items", track.words_processed)
             qtrace.close()
+        if recording:
+            recorder.record_query(
+                source="engine",
+                batch=planned is not None,
+                query=query,
+                semantics=semantics,
+                index=name,
+                kind=kind,
+                matches=len(ids),
+                elapsed_ns=elapsed_ns,
+                trace=qtrace,
+            )
         return QueryReport(
             index_name=name,
             kind=kind,
             record_ids=ids,
-            trace=qtrace,
+            trace=qtrace if trace else None,
             elapsed_ns=elapsed_ns,
         )
 
@@ -598,6 +620,7 @@ class IncompleteDatabase:
         sub_cache: SubResultCache | None,
         parallel: bool = False,
         max_workers: int | None = None,
+        recorded: bool = True,
     ) -> list[QueryReport]:
         """Run pre-planned queries grouped per index (batch back half).
 
@@ -629,6 +652,7 @@ class IncompleteDatabase:
                     cache=sub_cache,
                     shared_masks=shared_masks,
                     planned=planned[pos],
+                    recorded=recorded,
                 )
 
         if parallel and len(groups) > 1:

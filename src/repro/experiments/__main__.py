@@ -9,6 +9,8 @@ Usage::
     python -m repro.experiments fsck DIR --deep # ... parsing every payload
     python -m repro.experiments bench           # perf suites -> BENCH_*.json
     python -m repro.experiments bench micro_ops --check
+    python -m repro.experiments bench --against BENCH_micro_ops.json
+    python -m repro.experiments serve-metrics   # live telemetry + demo load
 
 Each experiment prints the same series the paper plots; EXPERIMENTS.md
 records a reference run next to the paper's reported values.  The ``fsck``
@@ -16,7 +18,10 @@ subcommand walks a directory written by ``save_sharded`` and reports every
 file as ok/corrupt/missing/orphan (see ``docs/persistence.md``); its exit
 status is non-zero when anything is corrupt or missing.  The ``bench``
 subcommand runs the tracked performance suites and writes machine-readable
-``BENCH_<area>.json`` files (see ``docs/kernels.md``).
+``BENCH_<area>.json`` files (see ``docs/kernels.md``) and, with
+``--against``, gates them against committed baselines (see
+``docs/observability.md``).  The ``serve-metrics`` subcommand starts the
+live telemetry endpoint over a demo workload.
 """
 
 from __future__ import annotations
@@ -99,6 +104,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.bench import bench_main
 
         return bench_main(argv[1:])
+    if argv[:1] == ["serve-metrics"]:
+        from repro.experiments.serve_metrics import serve_metrics_main
+
+        return serve_metrics_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures and tables.",

@@ -15,6 +15,15 @@ prove its speedup (or be caught regressing) by diffing committed numbers:
 Every file records the schema version, the git commit, interpreter/numpy
 versions, the active kernel backend, and the suite's results; see
 ``docs/kernels.md`` for the format and CI wiring.
+
+``--against BENCH_<area>.json`` turns a run into a regression gate: the
+named suite re-runs and its machine-portable guarded metrics (speedups,
+hit rates, deterministic cost-model counts — see
+:mod:`repro.experiments.regression`) are compared to the committed file,
+exiting non-zero on any drop beyond ``--tolerance``.  This is how the
+committed ``BENCH_*.json`` files stay a guarded perf history instead of
+dead artifacts (see ``docs/observability.md``, "Bench regression
+tracking").
 """
 
 from __future__ import annotations
@@ -226,14 +235,56 @@ def bench_main(argv: list[str]) -> int:
         help="exit non-zero if the numpy backend is slower than the "
              "python reference on any micro-op case",
     )
+    parser.add_argument(
+        "--against", action="append", default=[], metavar="BENCH_FILE",
+        help="committed BENCH_<area>.json to compare this run against; "
+             "repeatable.  Exits non-zero if any guarded metric regresses "
+             "beyond --tolerance.  With no explicit suites, only the "
+             "baselines' areas run.",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.25, metavar="FRAC",
+        help="fractional slack for --against comparisons (default: 0.25, "
+             "i.e. a guarded metric may drop 25%% before failing)",
+    )
     args = parser.parse_args(argv)
 
-    selected = args.suites or sorted(_SUITES)
+    from repro.experiments.regression import (
+        GuardedMetricError,
+        compare_payloads,
+        load_baseline,
+    )
+
+    baselines: dict[str, list[tuple[str, dict]]] = {}
+    for path in args.against:
+        try:
+            payload = load_baseline(path, SCHEMA_VERSION)
+        except GuardedMetricError as exc:
+            parser.error(str(exc))
+        area = payload["area"]
+        if area not in _SUITES:
+            parser.error(
+                f"baseline {path!r} guards unknown area {area!r}; "
+                f"known areas: {sorted(_SUITES)}"
+            )
+        baselines.setdefault(area, []).append((path, payload))
+
+    if args.suites:
+        selected = args.suites
+    elif baselines:
+        selected = sorted(baselines)
+    else:
+        selected = sorted(_SUITES)
     unknown = [name for name in selected if name not in _SUITES]
     if unknown:
         parser.error(f"unknown suites {unknown}; choose from {sorted(_SUITES)}")
     if args.check and "micro_ops" not in selected:
         parser.error("--check requires the micro_ops suite")
+    missing = [area for area in baselines if area not in selected]
+    if missing:
+        parser.error(
+            f"--against baselines for {missing} need their suites selected"
+        )
     scale = _SCALES[args.scale]
     repeats = args.repeats if args.repeats is not None else scale["micro_repeats"]
     os.makedirs(args.output_dir, exist_ok=True)
@@ -253,6 +304,20 @@ def bench_main(argv: list[str]) -> int:
                 print(f"  {backend} vs python: {line}")
             if args.check:
                 failures.extend(_check_micro(results))
+        for base_path, base_payload in baselines.get(area, []):
+            area_failures = compare_payloads(
+                base_payload, results, args.tolerance, source=base_path
+            )
+            failures.extend(area_failures)
+            verdict = (
+                f"{len(area_failures)} regression(s)"
+                if area_failures
+                else "no regressions"
+            )
+            print(
+                f"  --against {base_path}: {verdict} "
+                f"(tolerance {args.tolerance:.0%})"
+            )
     for failure in failures:
         print(f"CHECK FAILED: {failure}", file=sys.stderr)
     return 1 if failures else 0

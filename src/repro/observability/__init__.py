@@ -13,7 +13,15 @@ first-class at runtime:
   populated by ``IncompleteDatabase.execute(query, trace=True)`` and
   rendered by ``explain(..., analyze=True)``;
 * :mod:`repro.observability.export` — text table, JSON lines, and
-  Prometheus renderings of any registry snapshot.
+  Prometheus renderings of any registry snapshot;
+* :mod:`repro.observability.workload` — an always-on
+  :class:`WorkloadRecorder` keeping one normalized record per executed
+  query (bounded ring + rotating JSONL sink + advisor-shaped summary),
+  no-op by default like the registry;
+* :mod:`repro.observability.slowlog` — a :class:`SlowQueryLog` retaining
+  the N worst threshold-crossing queries with their span trees;
+* :mod:`repro.observability.server` — a stdlib HTTP thread serving
+  ``/metrics`` (Prometheus), ``/healthz``, ``/varz``, and ``/workload``.
 
 The metric names and span naming scheme are documented in
 ``docs/observability.md``; ``docs/cost-model.md`` maps each cost-model term
@@ -42,6 +50,11 @@ from repro.observability.metrics import (
     suppressed,
     use_registry,
 )
+from repro.observability.server import (
+    TelemetryServer,
+    start_telemetry_server,
+)
+from repro.observability.slowlog import SlowQueryEntry, SlowQueryLog
 from repro.observability.trace import (
     QueryTrace,
     Span,
@@ -49,6 +62,17 @@ from repro.observability.trace import (
     current_span,
     current_trace,
     trace_span,
+)
+from repro.observability.workload import (
+    NULL_RECORDER,
+    NullWorkloadRecorder,
+    RotatingJsonlSink,
+    WorkloadRecord,
+    WorkloadRecorder,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+    workload_summary,
 )
 
 __all__ = [
@@ -59,21 +83,34 @@ __all__ = [
     "MetricsRegistry",
     "MetricsSnapshot",
     "NullRegistry",
+    "NullWorkloadRecorder",
+    "NULL_RECORDER",
     "NULL_REGISTRY",
     "QueryTrace",
+    "RotatingJsonlSink",
+    "SlowQueryEntry",
+    "SlowQueryLog",
     "Span",
+    "TelemetryServer",
+    "WorkloadRecord",
+    "WorkloadRecorder",
     "activate",
     "current_span",
     "current_trace",
     "enabled",
+    "get_recorder",
     "get_registry",
     "observe",
     "record",
     "render_jsonl",
     "render_prometheus",
     "render_table",
+    "set_recorder",
     "set_registry",
+    "start_telemetry_server",
     "suppressed",
     "trace_span",
+    "use_recorder",
     "use_registry",
+    "workload_summary",
 ]

@@ -104,21 +104,30 @@ def _prom_name(name: str) -> str:
 def render_prometheus(source, prefix: str = "repro") -> str:
     """Prometheus text exposition format (version 0.0.4).
 
-    Counters get a ``_total`` suffix per convention; histograms export as
-    summaries with bucket-estimated 0.5/0.99 quantiles.
+    Every metric family gets its ``# HELP`` and ``# TYPE`` comment lines
+    (in that order, as the format specifies).  Counters get a ``_total``
+    suffix per convention; histograms export as summaries — the two
+    bucket-estimated quantile samples plus the ``<name>_sum`` /
+    ``<name>_count`` pair scrapers use for rate-of-mean queries.
     """
     snapshot = _snapshot_of(source)
     lines: list[str] = []
     for name, value in snapshot.counters.items():
         metric = f"{prefix}_{_prom_name(name)}_total"
+        lines.append(f"# HELP {metric} Counter {name!r}.")
         lines.append(f"# TYPE {metric} counter")
         lines.append(f"{metric} {value}")
     for name, value in snapshot.gauges.items():
         metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# HELP {metric} Gauge {name!r}.")
         lines.append(f"# TYPE {metric} gauge")
         lines.append(f"{metric} {value}")
     for name, hist in snapshot.histograms.items():
         metric = f"{prefix}_{_prom_name(name)}"
+        lines.append(
+            f"# HELP {metric} Summary of histogram {name!r} "
+            f"(bucket-estimated quantiles)."
+        )
         lines.append(f"# TYPE {metric} summary")
         lines.append(f'{metric}{{quantile="0.5"}} {hist.p50}')
         lines.append(f'{metric}{{quantile="0.99"}} {hist.p99}')

@@ -9,14 +9,20 @@ histograms for ns-resolution latencies.  The default registry is a
 operator installs a real registry with :func:`set_registry` or
 :func:`use_registry`.
 
-Everything on the fast path is plain-int arithmetic on instance slots — no
-locks (CPython's per-opcode atomicity is enough for single-process use, and
-the experiment harness is single-threaded) and no allocation after an
+Instruments are thread-safe: ``execute_batch(parallel=True)`` and the
+shard worker pool increment counters from worker threads, so every
+mutation (``inc``/``set``/``observe``) takes a per-instrument lock —
+``self.value += amount`` spans three bytecodes in CPython and *does* lose
+updates under contention without one.  Instrument creation is
+double-checked against a registry-level lock.  The locks only cost
+anything once a real registry is installed (the null instruments override
+every mutator with a pass), and there is still no allocation after an
 instrument's first use.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -44,42 +50,48 @@ __all__ = [
 
 
 class Counter:
-    """A monotonically increasing tally."""
+    """A monotonically increasing tally (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount: int | float = 1) -> None:
         """Add ``amount`` (default 1)."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
 
 
 class Gauge:
-    """A point-in-time value that can move both ways."""
+    """A point-in-time value that can move both ways (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         """Replace the current value."""
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
         """Adjust the current value upward."""
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
         """Adjust the current value downward."""
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self.value})"
@@ -98,7 +110,7 @@ class Histogram:
     supporting useful quantile estimates over nine decades of nanoseconds.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
 
     def __init__(self, name: str):
         self.name = name
@@ -107,17 +119,19 @@ class Histogram:
         self.min: int | float | None = None
         self.max: int | float | None = None
         self.buckets = [0] * _NBUCKETS
+        self._lock = threading.Lock()
 
     def observe(self, value: int | float) -> None:
         """Record one measurement (negative values clamp to bucket 0)."""
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
         index = int(value).bit_length() if value > 0 else 0
-        self.buckets[min(index, _NBUCKETS - 1)] += 1
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
+            self.buckets[min(index, _NBUCKETS - 1)] += 1
 
     @contextmanager
     def time(self) -> Iterator[None]:
@@ -193,27 +207,29 @@ class MetricsRegistry:
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, table: dict, name: str, factory):
+        # Fast path: racing readers see either None or the one instrument.
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.get(name)
+                if instrument is None:
+                    instrument = table[name] = factory(name)
+        return instrument
 
     def counter(self, name: str) -> Counter:
         """The counter with this name, created on first use."""
-        counter = self._counters.get(name)
-        if counter is None:
-            counter = self._counters[name] = Counter(name)
-        return counter
+        return self._get_or_create(self._counters, name, Counter)
 
     def gauge(self, name: str) -> Gauge:
         """The gauge with this name, created on first use."""
-        gauge = self._gauges.get(name)
-        if gauge is None:
-            gauge = self._gauges[name] = Gauge(name)
-        return gauge
+        return self._get_or_create(self._gauges, name, Gauge)
 
     def histogram(self, name: str) -> Histogram:
         """The histogram with this name, created on first use."""
-        histogram = self._histograms.get(name)
-        if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
-        return histogram
+        return self._get_or_create(self._histograms, name, Histogram)
 
     def timer(self, name: str):
         """Context manager timing the ``with`` body into a histogram."""
@@ -221,9 +237,13 @@ class MetricsRegistry:
 
     def snapshot(self) -> MetricsSnapshot:
         """An immutable copy of every instrument's current state."""
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return MetricsSnapshot(
-            counters={n: c.value for n, c in sorted(self._counters.items())},
-            gauges={n: g.value for n, g in sorted(self._gauges.items())},
+            counters={n: c.value for n, c in counters},
+            gauges={n: g.value for n, g in gauges},
             histograms={
                 n: HistogramSnapshot(
                     count=h.count,
@@ -234,15 +254,16 @@ class MetricsRegistry:
                     p50=h.quantile(0.5),
                     p99=h.quantile(0.99),
                 )
-                for n, h in sorted(self._histograms.items())
+                for n, h in histograms
             },
         )
 
     def reset(self) -> None:
         """Drop every instrument."""
-        self._counters.clear()
-        self._gauges.clear()
-        self._histograms.clear()
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
 
     def __repr__(self) -> str:
         return (
@@ -345,6 +366,7 @@ def use_registry(
 
 
 _suppress_depth = 0
+_suppress_lock = threading.Lock()
 
 
 @contextmanager
@@ -355,13 +377,20 @@ def suppressed() -> Iterator[None]:
     how many bitvectors an interval would touch, which some encodings
     answer by dry-running the evaluation — so estimation work never leaks
     into the counters that are supposed to measure real query work.
+
+    The depth is process-wide (suppressing in one thread suppresses all),
+    which is the conservative choice for the places it is used — planner
+    cost probes that run before any fan-out; the lock only guards the
+    depth updates, not the hot-path read.
     """
     global _suppress_depth
-    _suppress_depth += 1
+    with _suppress_lock:
+        _suppress_depth += 1
     try:
         yield
     finally:
-        _suppress_depth -= 1
+        with _suppress_lock:
+            _suppress_depth -= 1
 
 
 def enabled() -> bool:

@@ -1,0 +1,133 @@
+"""Slow-query log: keep the N worst threshold-crossing queries with traces.
+
+A :class:`SlowQueryLog` is attached to a
+:class:`~repro.observability.workload.WorkloadRecorder`.  Every recorded
+query is offered to it; queries whose latency crosses the configured
+threshold are retained — at most ``keep`` of them, always the *worst* by
+latency — together with their full :class:`~repro.observability.QueryTrace`
+span trees when available.
+
+Traces are the expensive half: when ``capture_traces=True`` (the default)
+the engine force-builds a span tree for every query while the log is
+armed, so a threshold-crossing query's entry carries the exact per-span
+timings and cost-model counters of the slow execution itself (not a
+re-run).  Operators who only want the query text and plan can pass
+``capture_traces=False`` and keep recording at ring-buffer cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass
+
+from repro.observability.trace import QueryTrace
+
+__all__ = ["SlowQueryEntry", "SlowQueryLog"]
+
+
+@dataclass(frozen=True, slots=True)
+class SlowQueryEntry:
+    """One retained slow query: its workload record plus optional trace."""
+
+    record: object  # a WorkloadRecord (kept untyped to avoid an import cycle)
+    trace: QueryTrace | None
+
+    @property
+    def elapsed_ns(self) -> int:
+        """The slow execution's latency."""
+        return self.record.elapsed_ns
+
+    def as_dict(self) -> dict:
+        """JSON-serializable form; the trace renders as indented text."""
+        payload = self.record.as_dict()
+        payload["trace"] = self.trace.format() if self.trace else None
+        return payload
+
+
+class SlowQueryLog:
+    """Threshold-triggered capture of the N worst queries.
+
+    Parameters
+    ----------
+    threshold_ms:
+        Queries at or above this wall-clock latency are retained.  ``0``
+        retains every offered query (useful in tests and smoke checks).
+    keep:
+        How many entries to retain; when full, a new slow query evicts the
+        *fastest* retained entry (a min-heap on latency keeps the worst N).
+    capture_traces:
+        Ask the engine to force-build span trees while the log is armed so
+        entries carry the slow execution's own trace.
+    """
+
+    def __init__(
+        self,
+        threshold_ms: float = 100.0,
+        keep: int = 32,
+        capture_traces: bool = True,
+    ):
+        if threshold_ms < 0:
+            raise ValueError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.threshold_ns = int(threshold_ms * 1e6)
+        self.keep = keep
+        self.capture_traces = capture_traces
+        self._lock = threading.Lock()
+        #: Min-heap of (elapsed_ns, tiebreak, entry); root = fastest retained.
+        self._heap: list[tuple[int, int, SlowQueryEntry]] = []
+        self._tiebreak = itertools.count()
+        self._offered = 0
+        self._admitted = 0
+
+    def offer(self, record, trace: QueryTrace | None = None) -> bool:
+        """Consider one executed query; returns True when it was retained."""
+        self._offered += 1
+        if record.elapsed_ns < self.threshold_ns:
+            return False
+        entry = SlowQueryEntry(record=record, trace=trace)
+        item = (record.elapsed_ns, next(self._tiebreak), entry)
+        with self._lock:
+            if len(self._heap) < self.keep:
+                heapq.heappush(self._heap, item)
+            elif record.elapsed_ns > self._heap[0][0]:
+                heapq.heapreplace(self._heap, item)
+            else:
+                return False
+            self._admitted += 1
+        return True
+
+    def entries(self) -> list[SlowQueryEntry]:
+        """Retained entries, worst (slowest) first."""
+        with self._lock:
+            items = list(self._heap)
+        return [
+            entry
+            for _, _, entry in sorted(items, key=lambda i: (-i[0], i[1]))
+        ]
+
+    @property
+    def offered(self) -> int:
+        """Queries considered over the log's lifetime."""
+        return self._offered
+
+    @property
+    def admitted(self) -> int:
+        """Queries that crossed the threshold and were retained at the time."""
+        return self._admitted
+
+    def clear(self) -> None:
+        """Drop every retained entry (lifetime tallies are untouched)."""
+        with self._lock:
+            self._heap.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __repr__(self) -> str:
+        return (
+            f"SlowQueryLog(threshold_ms={self.threshold_ns / 1e6:g}, "
+            f"keep={self.keep}, retained={len(self._heap)})"
+        )

@@ -484,6 +484,9 @@ class ShardedDatabase:
         query = self._normalize(query)
         start = time.perf_counter_ns()
         observing = obs.enabled()
+        recorder = obs.get_recorder()
+        recording = recorder.active
+        tracing = trace or (recording and recorder.wants_trace)
         qtrace = (
             obs.QueryTrace(
                 "sharded_query",
@@ -491,7 +494,7 @@ class ShardedDatabase:
                 semantics=semantics.value,
                 shards=self.num_shards,
             )
-            if trace
+            if tracing
             else None
         )
         plan_start = time.perf_counter_ns()
@@ -528,8 +531,9 @@ class ShardedDatabase:
                 query,
                 semantics,
                 using=None,
-                trace=trace,
+                trace=tracing,
                 planned=planned,
+                recorded=False,
             )
 
         fan_start = time.perf_counter_ns()
@@ -579,7 +583,7 @@ class ShardedDatabase:
             ),
             record_ids=merged,
             per_shard=per_shard,
-            trace=qtrace,
+            trace=qtrace if trace else None,
             elapsed_ns=elapsed_ns,
         )
         if observing:
@@ -589,6 +593,20 @@ class ShardedDatabase:
             qtrace.root.set("matches", result.num_matches)
             qtrace.root.set("pruned", len(pruned_ids))
             qtrace.close()
+        if recording:
+            recorder.record_query(
+                source="shard",
+                batch=False,
+                query=query,
+                semantics=semantics,
+                index=result.index_name,
+                kind=result.kind,
+                matches=result.num_matches,
+                elapsed_ns=elapsed_ns,
+                trace=qtrace,
+                shards_executed=len(survivors),
+                shards_pruned=len(pruned_ids),
+            )
         return result
 
     def execute_batch(
@@ -608,6 +626,7 @@ class ShardedDatabase:
         """
         normalized = [self._normalize(q) for q in queries]
         observing = obs.enabled()
+        recorder = obs.get_recorder()
         plans = {}
         for query in normalized:
             if query not in plans:
@@ -645,6 +664,7 @@ class ShardedDatabase:
                 semantics,
                 trace,
                 shard.database.sub_result_cache,
+                recorded=False,
             )
             return positions, reports
 
@@ -681,20 +701,35 @@ class ShardedDatabase:
                 merged = np.sort(np.concatenate(parts[pos]))
             else:
                 merged = np.empty(0, dtype=np.int64)
-            out.append(
-                ShardedQueryReport(
-                    index_name=chosen if chosen else "<scan>",
-                    kind=(
-                        self._index_meta[chosen].kind
-                        if chosen
-                        else "scan"
-                    ),
-                    record_ids=merged,
-                    per_shard=tuple(
-                        slices[pos][sid] for sid in sorted(slices[pos])
-                    ),
-                )
+            report = ShardedQueryReport(
+                index_name=chosen if chosen else "<scan>",
+                kind=(
+                    self._index_meta[chosen].kind
+                    if chosen
+                    else "scan"
+                ),
+                record_ids=merged,
+                per_shard=tuple(
+                    slices[pos][sid] for sid in sorted(slices[pos])
+                ),
             )
+            if recorder.active:
+                executed = [s for s in report.per_shard if not s.pruned]
+                recorder.record_query(
+                    source="shard",
+                    batch=True,
+                    query=query,
+                    semantics=semantics,
+                    index=report.index_name,
+                    kind=report.kind,
+                    matches=report.num_matches,
+                    # No whole-query wall clock in the batched fan-out;
+                    # the summed per-shard task time is the best proxy.
+                    elapsed_ns=sum(s.elapsed_ns for s in executed),
+                    shards_executed=len(executed),
+                    shards_pruned=report.num_pruned,
+                )
+            out.append(report)
         if observing:
             obs.record("shard.batches")
             obs.record("shard.batch_queries", len(normalized))

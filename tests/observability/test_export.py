@@ -83,3 +83,40 @@ class TestPrometheus:
 
     def test_empty_snapshot_is_empty_string(self):
         assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_exact_exposition_output(self):
+        # Pin the full payload: # HELP before # TYPE for every family,
+        # counters with _total, summaries with quantiles then _sum/_count.
+        # Any formatting drift here is a scraper-visible change.
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(3)
+        reg.gauge("cache.bytes").set(512.0)
+        h = reg.histogram("engine.query_ns")
+        h.observe(4)
+        h.observe(100)
+        assert render_prometheus(reg.snapshot()) == (
+            "# HELP repro_cache_hits_total Counter 'cache.hits'.\n"
+            "# TYPE repro_cache_hits_total counter\n"
+            "repro_cache_hits_total 3\n"
+            "# HELP repro_cache_bytes Gauge 'cache.bytes'.\n"
+            "# TYPE repro_cache_bytes gauge\n"
+            "repro_cache_bytes 512.0\n"
+            "# HELP repro_engine_query_ns Summary of histogram "
+            "'engine.query_ns' (bucket-estimated quantiles).\n"
+            "# TYPE repro_engine_query_ns summary\n"
+            'repro_engine_query_ns{quantile="0.5"} 7.0\n'
+            'repro_engine_query_ns{quantile="0.99"} 127.0\n'
+            "repro_engine_query_ns_sum 104.0\n"
+            "repro_engine_query_ns_count 2\n"
+        )
+
+    def test_help_precedes_type_for_every_family(self):
+        lines = render_prometheus(_sample_registry().snapshot()).splitlines()
+        families = {}
+        for line in lines:
+            if line.startswith(("# HELP ", "# TYPE ")):
+                kind, name = line.split(" ", 3)[1:3]
+                families.setdefault(name, []).append(kind)
+        assert families  # at least one family rendered
+        for name, kinds in families.items():
+            assert kinds == ["HELP", "TYPE"], f"{name} ordered {kinds}"

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.observability import (
@@ -150,3 +152,114 @@ class TestHistogramBuckets:
 
     def test_quantile_empty(self):
         assert Histogram("e").quantile(0.99) == 0.0
+        assert Histogram("e").quantile(0.5) == 0.0
+
+    def test_power_of_two_edges(self):
+        # A power of two is the first value of its bucket: bit_length(8)=4,
+        # so 8 lands in the [8, 15] bucket and quantiles report its upper
+        # bound, while 7 (bit_length 3) stays in [4, 7].
+        h8 = Histogram("p2")
+        h8.observe(8)
+        assert h8.quantile(0.5) == 15.0
+        assert h8.quantile(0.99) == 15.0
+        h7 = Histogram("p2m1")
+        h7.observe(7)
+        assert h7.quantile(0.5) == 7.0
+        assert h7.quantile(0.99) == 7.0
+
+    def test_single_observation_dominates_all_quantiles(self):
+        h = Histogram("one")
+        h.observe(1)
+        assert h.count == 1
+        assert h.min == h.max == 1
+        for q in (0.5, 0.99, 1.0):
+            assert h.quantile(q) == 1.0
+
+    def test_p50_p99_split_across_buckets(self):
+        h = Histogram("split")
+        for _ in range(99):
+            h.observe(4)       # [4, 7] bucket
+        h.observe(1024)        # [1024, 2047] bucket
+        assert h.quantile(0.5) == 7.0
+        assert h.quantile(0.99) == 7.0    # rank 99 of 100 is still a 4
+        assert h.quantile(1.0) == 2047.0
+
+
+class TestThreadSafety:
+    """The lost-update satellite: ``+=`` is three bytecodes; locks make the
+    registry's totals exact under the thread-pool fan-outs."""
+
+    THREADS = 8
+    ITERATIONS = 2_500
+
+    def _hammer(self, fn):
+        barrier = threading.Barrier(self.THREADS)
+
+        def run():
+            barrier.wait()  # maximize interleaving
+            for _ in range(self.ITERATIONS):
+                fn()
+
+        threads = [threading.Thread(target=run) for _ in range(self.THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_increments_are_not_lost(self):
+        reg = MetricsRegistry()
+        self._hammer(lambda: reg.counter("shared").inc())
+        assert reg.counter("shared").value == self.THREADS * self.ITERATIONS
+
+    def test_module_record_with_creation_race(self):
+        # Every thread records to the *same new* names, so instrument
+        # creation itself races too; double-checked creation must hand
+        # every thread the same instrument.
+        with use_registry() as reg:
+            self._hammer(lambda: record("raced.counter", 2))
+        assert (
+            reg.snapshot().counters["raced.counter"]
+            == 2 * self.THREADS * self.ITERATIONS
+        )
+
+    def test_gauge_add_sub_balance(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth")
+
+        def pulse():
+            gauge.inc(5.0)
+            gauge.dec(5.0)
+
+        self._hammer(pulse)
+        assert gauge.value == 0.0
+
+    def test_histogram_observations_are_not_lost(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat")
+        self._hammer(lambda: hist.observe(4))
+        expected = self.THREADS * self.ITERATIONS
+        assert hist.count == expected
+        assert hist.total == 4 * expected
+        assert hist.buckets[3] == expected  # all in the [4, 7] bucket
+
+    def test_snapshot_during_writes_is_coherent(self):
+        reg = MetricsRegistry()
+        stop = threading.Event()
+
+        def write():
+            while not stop.is_set():
+                reg.counter("w").inc()
+                reg.histogram("h").observe(1)
+
+        writer = threading.Thread(target=write)
+        writer.start()
+        try:
+            for _ in range(50):
+                snap = reg.snapshot()
+                if "h" in snap.histograms:
+                    hist = snap.histograms["h"]
+                    assert hist.total == hist.count  # every observation was 1
+        finally:
+            stop.set()
+            writer.join()
+        assert reg.counter("w").value > 0

@@ -1,0 +1,92 @@
+"""SlowQueryLog: thresholding, worst-N retention, entry rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.observability import QueryTrace, SlowQueryLog, WorkloadRecorder
+from repro.query.model import MissingSemantics, RangeQuery
+
+
+def _offer(log, elapsed_ns, trace=None):
+    recorder = WorkloadRecorder()
+    record = recorder.record_query(
+        source="engine",
+        batch=False,
+        query=RangeQuery.from_bounds({"a": (1, elapsed_ns % 97 + 1)}),
+        semantics=MissingSemantics.IS_MATCH,
+        index="idx",
+        kind="bre",
+        matches=1,
+        elapsed_ns=elapsed_ns,
+    )
+    return log.offer(record, trace)
+
+
+class TestThreshold:
+    def test_below_threshold_rejected(self):
+        log = SlowQueryLog(threshold_ms=1.0)
+        assert not _offer(log, 999_999)   # 0.999999 ms
+        assert _offer(log, 1_000_000)     # exactly the threshold
+        assert len(log) == 1
+        assert log.offered == 2
+        assert log.admitted == 1
+
+    def test_zero_threshold_retains_everything(self):
+        log = SlowQueryLog(threshold_ms=0.0, keep=10)
+        for elapsed in (1, 2, 3):
+            assert _offer(log, elapsed)
+        assert len(log) == 3
+
+    def test_validates_arguments(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_ms=-1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(keep=0)
+
+
+class TestWorstN:
+    def test_keeps_worst_and_evicts_fastest(self):
+        log = SlowQueryLog(threshold_ms=0.0, keep=3)
+        for elapsed in (50, 10, 40, 99, 20):
+            _offer(log, elapsed)
+        assert [e.elapsed_ns for e in log.entries()] == [99, 50, 40]
+
+    def test_slower_than_root_required_when_full(self):
+        log = SlowQueryLog(threshold_ms=0.0, keep=2)
+        _offer(log, 100)
+        _offer(log, 200)
+        assert not _offer(log, 50)   # not worse than the fastest retained
+        assert _offer(log, 150)
+        assert [e.elapsed_ns for e in log.entries()] == [200, 150]
+        assert log.admitted == 3
+
+    def test_clear_keeps_lifetime_tallies(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        _offer(log, 5)
+        log.clear()
+        assert len(log) == 0
+        assert log.offered == 1 and log.admitted == 1
+
+
+class TestEntries:
+    def test_entry_as_dict_renders_trace(self):
+        log = SlowQueryLog(threshold_ms=0.0)
+        trace = QueryTrace("query", query="q")
+        with trace.span("plan"):
+            pass
+        trace.close()
+        _offer(log, 7, trace)
+        (entry,) = log.entries()
+        payload = entry.as_dict()
+        assert payload["elapsed_ns"] == 7
+        assert isinstance(payload["trace"], str) and "query" in payload["trace"]
+        json.dumps(payload)
+
+    def test_entry_without_trace(self):
+        log = SlowQueryLog(threshold_ms=0.0, capture_traces=False)
+        assert not log.capture_traces
+        _offer(log, 7)
+        assert log.entries()[0].as_dict()["trace"] is None
