@@ -29,6 +29,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable
 
+from repro import forksafe
 from repro.observability import get_registry, record
 
 __all__ = ["DEFAULT_CACHE_BYTES", "CacheStats", "SubResultCache"]
@@ -99,6 +100,12 @@ class SubResultCache:
         self._stores = 0
         self._evictions = 0
         self._invalidations = 0
+        forksafe.register(self)
+
+    def _reset_after_fork(self) -> None:
+        # A fork child must not inherit this lock mid-held by a parent
+        # thread; entries (immutable bitvectors) carry over safely.
+        self._lock = threading.Lock()
 
     # -- lookup / store ----------------------------------------------------
 

@@ -36,6 +36,7 @@ from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
 from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
 from repro.bitvector.ops import OpCounter
 from repro.core.cache import DEFAULT_CACHE_BYTES, SubResultCache
+from repro.dataset.schema import AttributeSpec, Schema
 from repro.dataset.table import IncompleteTable
 from repro.errors import QueryError, ReproError
 from repro.query.model import MissingSemantics, RangeQuery
@@ -136,6 +137,24 @@ class IncompleteDatabase:
         self._query_counts: dict[str, int] = {}
         self._counts_lock = threading.Lock()
         self._cache = SubResultCache(max_bytes=cache_bytes)
+
+    @classmethod
+    def from_columns(
+        cls,
+        specs: Sequence[tuple[str, int]],
+        columns: Mapping[str, "np.ndarray"],
+        cache_bytes: int | None = DEFAULT_CACHE_BYTES,
+    ) -> "IncompleteDatabase":
+        """Build a database over pre-validated ``(name, cardinality)`` columns.
+
+        The process shard executor bootstraps workers from arrays attached
+        to shared memory or memory-mapped files; those buffers are read-only
+        views of columns a parent already validated, so this skips the
+        per-column domain re-scan (``validate=False``) and never copies.
+        """
+        schema = Schema([AttributeSpec(name, card) for name, card in specs])
+        table = IncompleteTable(schema, dict(columns), validate=False)
+        return cls(table, cache_bytes=cache_bytes)
 
     @property
     def sub_result_cache(self) -> SubResultCache:
@@ -261,6 +280,49 @@ class IncompleteDatabase:
                 f"has {self._table.num_records}; it was built over a "
                 f"different table"
             )
+        attrs = (
+            tuple(attributes)
+            if attributes is not None
+            else tuple(getattr(index, "attributes", self._table.schema.names))
+        )
+        attached = AttachedIndex(name=name, kind=kind, index=index, attributes=attrs)
+        self._cache.invalidate(name)
+        self._indexes[name] = attached
+        return attached
+
+    def attach_loaded_index(
+        self,
+        name: str,
+        kind: str,
+        index: object,
+        attributes: Iterable[str] | None = None,
+        *,
+        generation: int | None = None,
+        deleted: bytes | None = None,
+    ) -> AttachedIndex:
+        """Register a deserialized index shipped by a trusted replicator.
+
+        The process shard executor keeps worker-resident engines in sync by
+        re-shipping serialized indexes after the parent mutates its copy
+        (append/delete/compact).  Unlike :meth:`attach_index` this always
+        overwrites and skips the record-count cross-check — after an append
+        or compact the shipped index legitimately covers a different number
+        of rows than the worker's bootstrap table.  ``generation`` and
+        ``deleted`` restore the mutation state the serialized form does not
+        carry, so cache keys and alive-masks in the worker match the
+        parent's exactly.
+        """
+        if kind not in _BUILDERS:
+            raise ReproError(
+                f"unknown index kind {kind!r}; expected one of {sorted(_BUILDERS)}"
+            )
+        if isinstance(index, BitmapIndex):
+            if generation is not None:
+                index._generation = int(generation)
+            if deleted is not None:
+                mask = np.frombuffer(deleted, dtype=bool).copy()
+                index._deleted = mask
+                index._alive_cache = None
         attrs = (
             tuple(attributes)
             if attributes is not None
@@ -571,8 +633,11 @@ class IncompleteDatabase:
             never share per-group state; the sub-result cache itself is
             thread-safe.
         max_workers:
-            Thread-pool size cap when ``parallel=True``.
+            Thread-pool size cap when ``parallel=True``; must be at least 1
+            when given.
         """
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         normalized = [
             q if isinstance(q, RangeQuery) else RangeQuery.from_bounds(q)
             for q in queries
@@ -655,8 +720,16 @@ class IncompleteDatabase:
                     recorded=recorded,
                 )
 
+        if max_workers is not None and max_workers < 1:
+            # `max_workers or default` used to swallow 0 here and silently
+            # fall back to the default pool size; reject it loudly instead.
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if parallel and len(groups) > 1:
-            workers = max_workers or min(len(groups), os.cpu_count() or 1)
+            workers = (
+                max_workers
+                if max_workers is not None
+                else min(len(groups), os.cpu_count() or 1)
+            )
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 for future in [pool.submit(run_group, g) for g in groups]:
                     future.result()

@@ -10,6 +10,11 @@ and ``execute_batch``, and fails loudly if
   worker-pool path must actually execute, so zero means the fan-out
   silently degraded to something else.
 
+A second leg repeats one partitioner's workload through the ``processes``
+executor (:class:`~repro.shard.ProcessShardExecutor`) and fails on any
+divergence or on zero ``shard.process_fanouts`` — the cross-process
+scatter-gather must actually cross process boundaries.
+
 Usage (what ``.github/workflows/ci.yml`` runs)::
 
     PYTHONPATH=src python -m repro.experiments.shard_smoke
@@ -26,6 +31,7 @@ from repro.dataset.reorder import lexicographic_order
 from repro.dataset.synthetic import generate_uniform_table
 from repro.observability import use_registry
 from repro.query.model import MissingSemantics, RangeQuery
+from repro.shard.executor import ProcessShardExecutor
 from repro.shard.partition import PARTITIONERS
 from repro.shard.sharded import ShardedDatabase
 
@@ -94,22 +100,67 @@ def main(argv: list[str] | None = None) -> int:
                                 f"{exp.num_matches}",
                                 file=sys.stderr,
                             )
+        # Process-backend leg: same workload, resident worker processes
+        # bootstrapped from shared memory. Two workers so the fan-out
+        # genuinely crosses process boundaries even on a 1-CPU runner.
+        with ShardedDatabase(
+            table,
+            num_shards=4,
+            partitioner="contiguous",
+            executor=ProcessShardExecutor(max_workers=2),
+        ) as db:
+            db.create_index("ix", "bre")
+            for semantics in MissingSemantics:
+                for position, query in enumerate(queries):
+                    got = db.execute(query, semantics)
+                    exp = expected[semantics][position]
+                    if not np.array_equal(got.record_ids, exp.record_ids):
+                        failures += 1
+                        print(
+                            f"FAIL: processes execute, query {position} "
+                            f"under {semantics.value}: sharded "
+                            f"{got.num_matches} ids, unsharded "
+                            f"{exp.num_matches}",
+                            file=sys.stderr,
+                        )
+                batch = db.execute_batch(queries, semantics)
+                for position, (exp, got) in enumerate(
+                    zip(expected[semantics], batch)
+                ):
+                    if not np.array_equal(got.record_ids, exp.record_ids):
+                        failures += 1
+                        print(
+                            f"FAIL: processes execute_batch, query "
+                            f"{position} under {semantics.value}: sharded "
+                            f"{got.num_matches} ids, unsharded "
+                            f"{exp.num_matches}",
+                            file=sys.stderr,
+                        )
         snapshot = registry.snapshot()
 
     counters = snapshot.counters
     parallel_fanouts = counters.get("shard.parallel_fanouts", 0)
+    process_fanouts = counters.get("shard.process_fanouts", 0)
     fanout_tasks = counters.get("shard.fanout_tasks", 0)
     print(
         f"shard smoke: {len(queries)} queries x {len(MissingSemantics)} "
         f"semantics x {len(PARTITIONERS)} partitioners; "
-        f"{parallel_fanouts} parallel fan-outs, {fanout_tasks} fan-out "
-        f"tasks, {counters.get('shard.pruned', 0)} shard prunes"
+        f"{parallel_fanouts} parallel fan-outs, {process_fanouts} "
+        f"cross-process fan-outs, {fanout_tasks} fan-out tasks, "
+        f"{counters.get('shard.pruned', 0)} shard prunes"
     )
     if parallel_fanouts == 0:
         failures += 1
         print(
             "FAIL: zero parallel fan-outs recorded — the worker-pool path "
             "never ran",
+            file=sys.stderr,
+        )
+    if process_fanouts == 0:
+        failures += 1
+        print(
+            "FAIL: zero cross-process fan-outs recorded — the process "
+            "executor never shipped work to its workers",
             file=sys.stderr,
         )
     if fanout_tasks == 0:

@@ -30,6 +30,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator, Mapping, Sequence
 
+from repro import forksafe
 from repro.observability.metrics import record as _record_metric
 from repro.observability.slowlog import SlowQueryLog
 from repro.observability.trace import QueryTrace
@@ -127,6 +128,16 @@ class RotatingJsonlSink:
         self._lock = threading.Lock()
         self._handle = None
         self._size = 0
+        forksafe.register(self)
+
+    def _reset_after_fork(self) -> None:
+        # Fresh lock, and abandon the inherited file object without
+        # closing it: closing would flush any partial parent-side buffer
+        # into the shared file from the child.  The child reopens (append
+        # mode) on its next write.
+        self._lock = threading.Lock()
+        self._handle = None
+        self._size = 0
 
     @property
     def path(self) -> str:
@@ -214,6 +225,10 @@ class WorkloadRecorder:
         self._lock = threading.Lock()
         self._sink = sink
         self.slow_log = slow_log
+        forksafe.register(self)
+
+    def _reset_after_fork(self) -> None:
+        self._lock = threading.Lock()
 
     # -- engine-facing surface ---------------------------------------------
 

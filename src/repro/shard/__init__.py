@@ -4,6 +4,15 @@ See :mod:`repro.shard.sharded` for the execution model, and
 ``docs/sharding.md`` for the manifest format and partitioner guide.
 """
 
+from repro.shard.executor import (
+    EXECUTOR_ENV_VAR,
+    EXECUTORS,
+    ProcessShardExecutor,
+    SequentialShardExecutor,
+    ShardExecutor,
+    ThreadShardExecutor,
+    resolve_executor,
+)
 from repro.shard.manifest import MANIFEST_NAME, load_sharded, save_sharded
 from repro.shard.partition import (
     PARTITIONERS,
@@ -22,15 +31,21 @@ from repro.shard.sharded import (
 
 __all__ = [
     "ContiguousPartitioner",
+    "EXECUTORS",
+    "EXECUTOR_ENV_VAR",
     "MANIFEST_NAME",
     "MissingDensityPartitioner",
     "PARTITIONERS",
     "Partitioner",
+    "ProcessShardExecutor",
     "RoundRobinPartitioner",
+    "SequentialShardExecutor",
     "ShardAssignment",
+    "ShardExecutor",
     "ShardReportSlice",
     "ShardedDatabase",
     "ShardedQueryReport",
+    "ThreadShardExecutor",
     "get_partitioner",
     "load_sharded",
     "save_sharded",

@@ -394,6 +394,7 @@ def load_sharded(
     parallel: bool = True,
     max_workers: int | None = None,
     cache_bytes: int = DEFAULT_CACHE_BYTES,
+    executor=None,
 ) -> ShardedDatabase:
     """Rebuild a :class:`ShardedDatabase` saved by :func:`save_sharded`.
 
@@ -404,6 +405,12 @@ def load_sharded(
     counter) and that shard's index is rebuilt from its table using the
     options recorded in the manifest, so the database still opens and
     answers queries identically.
+
+    The verified file paths are remembered on the returned database, so the
+    ``processes`` shard executor (``executor="processes"`` here, or
+    ``REPRO_SHARD_EXECUTOR``) can bootstrap its workers by memory-mapping
+    the same generation directory instead of re-shipping rows.  A rebuilt
+    index has no trustworthy file and is deliberately left unrecorded.
     """
     root = Path(directory)
     manifest_path = root / MANIFEST_NAME
@@ -466,7 +473,15 @@ def load_sharded(
         parallel=parallel,
         max_workers=max_workers,
         cache_bytes=cache_bytes,
+        executor=executor,
     )
+    storage: dict[int, dict] = {
+        entry["shard_id"]: {
+            "table": str(root / _file_fields(entry["table"])[0]),
+            "indexes": {},
+        }
+        for entry in entries
+    }
     for entry in entries:
         shard = db.shards[entry["shard_id"]]
         for index_entry in entry["indexes"]:
@@ -507,6 +522,10 @@ def load_sharded(
                 index,
                 attributes=index_entry["attributes"],
             )
+            storage[entry["shard_id"]]["indexes"][index_entry["name"]] = (
+                str(path)
+            )
+    db._storage = storage
     for entry in entries[:1]:
         for index_entry in entry["indexes"]:
             db._attach_shard_indexes(

@@ -17,9 +17,12 @@ same query API by scatter-gather:
    changes results — on clustered data (e.g. after
    :func:`repro.dataset.reorder.lexicographic_order`) this is where the
    sharded speedup comes from.
-3. **Fan out.**  Surviving shards evaluate on a worker-thread pool
-   (``parallel=False`` falls back to a sequential loop in the caller's
-   thread).  Worker exceptions re-raise unwrapped in the caller.
+3. **Fan out.**  Surviving shards evaluate through a pluggable
+   :class:`~repro.shard.executor.ShardExecutor` — ``sequential`` (caller's
+   thread), ``threads`` (worker-thread pool; the default), or
+   ``processes`` (long-lived worker processes holding resident shard
+   engines; see :mod:`repro.shard.executor`).  In-process worker
+   exceptions re-raise unwrapped in the caller.
 4. **Merge.**  Per-shard local record ids map through each shard's
    ``global_ids`` and concatenate; because shards partition the row space
    and every access method returns ascending ids, one final sort makes the
@@ -30,7 +33,7 @@ same query API by scatter-gather:
 from __future__ import annotations
 
 import time
-from concurrent.futures import ThreadPoolExecutor
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -42,6 +45,12 @@ from repro.core.planner import CostEstimate, combine_shard_estimates, rank_plans
 from repro.dataset.table import IncompleteTable
 from repro.errors import QueryError, ReproError, ShardError
 from repro.query.model import MissingSemantics, RangeQuery
+from repro.shard.executor import (
+    ShardBatchTask,
+    ShardExecutor,
+    ShardQueryTask,
+    resolve_executor,
+)
 from repro.shard.partition import Partitioner, get_partitioner
 
 __all__ = [
@@ -134,6 +143,20 @@ class _Shard:
         return self.global_ids[np.asarray(local_ids, dtype=np.int64)]
 
 
+def _finalize_executor(executor: ShardExecutor) -> None:
+    """GC fallback: shut the fan-out executor down when the database drops.
+
+    Referenced by ``weakref.finalize`` with the *executor* (never the
+    database) as its argument, so the database itself stays collectible;
+    process workers and shared-memory segments are too expensive to leak
+    just because a caller forgot :meth:`ShardedDatabase.close`.
+    """
+    try:
+        executor.close()
+    except Exception:
+        pass
+
+
 class ShardedDatabase:
     """N-shard partitioned :class:`IncompleteDatabase` with scatter-gather.
 
@@ -150,12 +173,18 @@ class ShardedDatabase:
         A :class:`~repro.shard.partition.Partitioner` instance or registry
         name (``"contiguous"``, ``"round-robin"``, ``"missing-density"``).
     parallel:
-        Fan shard evaluation out over a worker-thread pool.  ``False``
-        evaluates shards sequentially in the caller's thread.
+        Legacy fan-out switch: picks the ``threads`` executor when true and
+        ``sequential`` when false.  Ignored when ``executor`` (or the
+        ``REPRO_SHARD_EXECUTOR`` environment variable) selects a backend.
     max_workers:
-        Pool size; defaults to ``min(num_shards, 32)``.
+        Fan-out worker cap (threads or processes); must be ``>= 1``.
+        Defaults to ``min(num_shards, 32)``.
     cache_bytes:
         Per-shard sub-result cache budget.
+    executor:
+        A :class:`~repro.shard.executor.ShardExecutor` instance or registry
+        name (``"sequential"``, ``"threads"``, ``"processes"``).  ``None``
+        consults ``REPRO_SHARD_EXECUTOR``, then falls back to ``parallel``.
     """
 
     def __init__(
@@ -166,13 +195,14 @@ class ShardedDatabase:
         parallel: bool = True,
         max_workers: int | None = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        executor: str | ShardExecutor | None = None,
     ):
         self._table = table
         self._partitioner = get_partitioner(partitioner)
         self._assignment = self._partitioner.partition(table, num_shards)
-        self._parallel = parallel
-        self._max_workers = max_workers or min(
-            self._assignment.num_shards, 32
+        self._init_common(
+            parallel, max_workers, cache_bytes, executor,
+            self._assignment.num_shards,
         )
         self._shards: list[_Shard] = [
             _Shard(
@@ -182,10 +212,35 @@ class ShardedDatabase:
             )
             for shard_id, ids in enumerate(self._assignment.shards)
         ]
+
+    def _init_common(
+        self, parallel, max_workers, cache_bytes, executor, num_shards
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            # `max_workers or default` used to swallow 0 silently and run
+            # with the default pool size; reject it loudly instead.
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self._parallel = parallel
+        self._max_workers_explicit = max_workers is not None
+        self._max_workers = (
+            max_workers
+            if max_workers is not None
+            else min(num_shards, 32)
+        )
+        self._cache_bytes = cache_bytes
         self._index_meta: dict[str, _IndexMeta] = {}
         self._plan_memo: dict[tuple, tuple] = {}
-        self._pool: ThreadPoolExecutor | None = None
+        #: Bumped on every create/drop/attach so process workers can fence
+        #: staleness even when an index is replaced by an equal-looking one.
+        self._index_epoch = 0
+        #: Per-shard on-disk paths recorded by the manifest loader; lets
+        #: the process executor bootstrap workers by memory-mapping files.
+        self._storage: dict[int, dict] | None = None
         self._closed = False
+        self._executor_impl = resolve_executor(executor, parallel)
+        self._finalizer = weakref.finalize(
+            self, _finalize_executor, self._executor_impl
+        )
 
     @classmethod
     def _restore(
@@ -196,6 +251,7 @@ class ShardedDatabase:
         parallel: bool = True,
         max_workers: int | None = None,
         cache_bytes: int = DEFAULT_CACHE_BYTES,
+        executor: str | ShardExecutor | None = None,
     ) -> "ShardedDatabase":
         """Rebuild from a persisted assignment (see :mod:`repro.shard.manifest`).
 
@@ -207,8 +263,10 @@ class ShardedDatabase:
         self._table = table
         self._partitioner = None
         self._assignment = assignment
-        self._parallel = parallel
-        self._max_workers = max_workers or min(assignment.num_shards, 32)
+        self._init_common(
+            parallel, max_workers, cache_bytes, executor,
+            assignment.num_shards,
+        )
         self._shards = [
             _Shard(
                 shard_id,
@@ -219,10 +277,6 @@ class ShardedDatabase:
                 zip(assignment.shards, shard_tables)
             )
         ]
-        self._index_meta = {}
-        self._plan_memo = {}
-        self._pool = None
-        self._closed = False
         return self
 
     # -- lifecycle -------------------------------------------------------------
@@ -252,18 +306,38 @@ class ShardedDatabase:
         """The shard holders, in shard-id order (read-only view)."""
         return tuple(self._shards)
 
+    @property
+    def executor(self) -> ShardExecutor:
+        """The fan-out backend serving this database."""
+        return self._executor_impl
+
     def close(self) -> None:
-        """Shut down the fan-out worker pool (idempotent)."""
+        """Shut down the fan-out executor (pool, processes, shared memory).
+
+        Closing twice raises :class:`~repro.errors.ShardError` — a second
+        ``close()`` means two owners think they hold the handle, which is
+        exactly the bug the error should surface.  The context-manager exit
+        only closes a still-open database, so ``with`` blocks compose with
+        an explicit early ``close()``.
+        """
+        if self._closed:
+            raise ShardError(
+                "this ShardedDatabase has already been closed"
+            )
         self._closed = True
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        self._finalizer.detach()
+        self._executor_impl.close()
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ShardError("this ShardedDatabase has been closed")
 
     def __enter__(self) -> "ShardedDatabase":
         return self
 
     def __exit__(self, *exc) -> None:
-        self.close()
+        if not self._closed:
+            self.close()
 
     def __repr__(self) -> str:
         return (
@@ -271,16 +345,6 @@ class ShardedDatabase:
             f"{self.num_shards} shards via {self.partitioner_name!r}, "
             f"indexes={sorted(self._index_meta)})"
         )
-
-    def _executor(self) -> ThreadPoolExecutor:
-        if self._closed:
-            raise ShardError("this ShardedDatabase has been closed")
-        if self._pool is None:
-            self._pool = ThreadPoolExecutor(
-                max_workers=self._max_workers,
-                thread_name_prefix="repro-shard",
-            )
-        return self._pool
 
     # -- index management ------------------------------------------------------
 
@@ -293,6 +357,7 @@ class ShardedDatabase:
         **options,
     ) -> None:
         """Build the same index on every shard (same name, kind, options)."""
+        self._ensure_open()
         attached = None
         for shard in self._shards:
             attached = shard.database.create_index(
@@ -302,15 +367,18 @@ class ShardedDatabase:
             kind=attached.kind, attributes=attached.attributes
         )
         self._plan_memo.clear()
+        self._index_epoch += 1
 
     def drop_index(self, name: str) -> None:
         """Detach an index from every shard."""
+        self._ensure_open()
         if name not in self._index_meta:
             raise ReproError(f"no index named {name!r}")
         for shard in self._shards:
             shard.database.drop_index(name)
         del self._index_meta[name]
         self._plan_memo.clear()
+        self._index_epoch += 1
 
     def _attach_shard_indexes(self, name: str, kind: str, attributes) -> None:
         """Record an index registered shard-by-shard (manifest loader)."""
@@ -318,6 +386,7 @@ class ShardedDatabase:
             kind=kind, attributes=tuple(attributes)
         )
         self._plan_memo.clear()
+        self._index_epoch += 1
 
     @property
     def index_names(self) -> list[str]:
@@ -442,29 +511,6 @@ class ShardedDatabase:
             else RangeQuery.from_bounds(query)
         )
 
-    def _fan_out(self, tasks):
-        """Run shard task thunks, in parallel when configured.
-
-        Returns results in task order.  Worker exceptions (including
-        :class:`~repro.errors.PlanningError`) re-raise unwrapped in the
-        caller's thread — ``Future.result()`` propagates the original
-        exception object.
-        """
-        observing = obs.enabled()
-        if self._parallel and len(tasks) > 1:
-            pool = self._executor()
-            futures = [pool.submit(task) for task in tasks]
-            results = [future.result() for future in futures]
-            if observing:
-                obs.record("shard.parallel_fanouts")
-        else:
-            results = [task() for task in tasks]
-            if observing:
-                obs.record("shard.sequential_fanouts")
-        if observing:
-            obs.record("shard.fanout_tasks", len(tasks))
-        return results
-
     def execute(
         self,
         query,
@@ -481,6 +527,7 @@ class ShardedDatabase:
         per-shard query traces (one subtree per executed shard, tagged with
         its shard id).
         """
+        self._ensure_open()
         query = self._normalize(query)
         start = time.perf_counter_ns()
         observing = obs.enabled()
@@ -518,33 +565,31 @@ class ShardedDatabase:
             obs.record("shard.queries")
             obs.record("shard.pruned", len(pruned_ids))
 
-        def run(shard: _Shard):
-            if chosen is None:
-                planned = (None, None, False)
-            else:
-                planned = (
-                    shard.database.get_index(chosen),
-                    per_shard_estimates[shard.shard_id],
-                    forced,
-                )
-            return shard.database._execute_query(
-                query,
-                semantics,
-                using=None,
+        tasks = [
+            ShardQueryTask(
+                shard_id=shard.shard_id,
+                query=query,
+                semantics=semantics,
+                index_name=chosen,
+                estimate=(
+                    per_shard_estimates[shard.shard_id]
+                    if chosen is not None
+                    else None
+                ),
+                forced=forced,
                 trace=tracing,
-                planned=planned,
-                recorded=False,
             )
-
+            for shard in survivors
+        ]
         fan_start = time.perf_counter_ns()
-        reports = self._fan_out(
-            [(lambda s=shard: run(s)) for shard in survivors]
-        )
+        outcomes = self._executor_impl.run_query_tasks(self, tasks)
         fan_ns = time.perf_counter_ns() - fan_start
+        if observing:
+            obs.record("shard.fanout_tasks", len(tasks))
         merge_start = time.perf_counter_ns()
         parts = [
-            shard.to_global(report.record_ids)
-            for shard, report in zip(survivors, reports)
+            shard.to_global(outcome.record_ids)
+            for shard, outcome in zip(survivors, outcomes)
         ]
         if parts:
             merged = np.sort(np.concatenate(parts))
@@ -556,16 +601,16 @@ class ShardedDatabase:
             shard_id: ShardReportSlice(shard_id, True, 0, 0)
             for shard_id in pruned_ids
         }
-        for shard, report in zip(survivors, reports):
+        for shard, outcome in zip(survivors, outcomes):
             slices[shard.shard_id] = ShardReportSlice(
                 shard.shard_id,
                 False,
-                report.num_matches,
-                report.elapsed_ns or 0,
+                len(outcome.record_ids),
+                outcome.elapsed_ns,
             )
-            if qtrace is not None and report.trace is not None:
-                report.trace.root.set("shard", shard.shard_id)
-                qtrace.root.children.append(report.trace.root)
+            if qtrace is not None and outcome.trace_root is not None:
+                outcome.trace_root.set("shard", shard.shard_id)
+                qtrace.root.children.append(outcome.trace_root)
         per_shard = tuple(
             slices[shard_id] for shard_id in sorted(slices)
         )
@@ -573,9 +618,8 @@ class ShardedDatabase:
         if observing:
             obs.observe("shard.fanout_ns", fan_ns)
             obs.observe("shard.merge_ns", merge_ns)
-            for report in reports:
-                if report.elapsed_ns is not None:
-                    obs.observe("shard.task_ns", report.elapsed_ns)
+            for outcome in outcomes:
+                obs.observe("shard.task_ns", outcome.elapsed_ns)
         result = ShardedQueryReport(
             index_name=chosen if chosen else "<scan>",
             kind=(
@@ -624,6 +668,7 @@ class ShardedDatabase:
         sub-result cache, and per-query results merge back in submission
         order.
         """
+        self._ensure_open()
         normalized = [self._normalize(q) for q in queries]
         observing = obs.enabled()
         recorder = obs.get_recorder()
@@ -638,56 +683,54 @@ class ShardedDatabase:
                 for shard in self._shards
             ]
 
-        def run(shard: _Shard):
-            positions = [
+        tasks = []
+        for shard in self._shards:
+            positions = tuple(
                 pos
                 for pos, query in enumerate(normalized)
                 if not prunable[query][shard.shard_id]
-            ]
-            if not positions:
-                return positions, []
-            sub_queries = [normalized[pos] for pos in positions]
-            sub_planned = []
+            )
+            sub_queries = tuple(normalized[pos] for pos in positions)
+            sub_plans = []
             for query in sub_queries:
                 chosen, forced, per_shard_estimates = plans[query]
                 if chosen is None:
-                    sub_planned.append((None, None, False))
+                    sub_plans.append((None, None, False))
                 else:
-                    sub_planned.append((
-                        shard.database.get_index(chosen),
+                    sub_plans.append((
+                        chosen,
                         per_shard_estimates[shard.shard_id],
                         forced,
                     ))
-            reports = shard.database._run_planned_batch(
-                sub_queries,
-                sub_planned,
-                semantics,
-                trace,
-                shard.database.sub_result_cache,
-                recorded=False,
-            )
-            return positions, reports
+            tasks.append(ShardBatchTask(
+                shard_id=shard.shard_id,
+                positions=positions,
+                queries=sub_queries,
+                plans=tuple(sub_plans),
+                semantics=semantics,
+                trace=trace,
+            ))
 
         fan_start = time.perf_counter_ns()
-        shard_results = self._fan_out(
-            [(lambda s=shard: run(s)) for shard in self._shards]
-        )
+        outcomes = self._executor_impl.run_batch_tasks(self, tasks)
         fan_ns = time.perf_counter_ns() - fan_start
+        if observing:
+            obs.record("shard.fanout_tasks", len(tasks))
 
         parts: list[list[np.ndarray]] = [[] for _ in normalized]
         slices: list[dict[int, ShardReportSlice]] = [
             {} for _ in normalized
         ]
-        for shard, (positions, reports) in zip(
-            self._shards, shard_results
-        ):
-            for pos, report in zip(positions, reports):
-                parts[pos].append(shard.to_global(report.record_ids))
+        for shard, outcome in zip(self._shards, outcomes):
+            for pos, (record_ids, task_ns) in zip(
+                outcome.positions, outcome.results
+            ):
+                parts[pos].append(shard.to_global(record_ids))
                 slices[pos][shard.shard_id] = ShardReportSlice(
                     shard.shard_id,
                     False,
-                    report.num_matches,
-                    report.elapsed_ns or 0,
+                    len(record_ids),
+                    task_ns,
                 )
         out: list[ShardedQueryReport] = []
         for pos, query in enumerate(normalized):
@@ -841,6 +884,7 @@ class ShardedDatabase:
             f"{self.num_shards} shards ({self.partitioner_name}), "
             f"{len(self._table.schema.names)} attributes",
             f"  bitvector kernels: {get_backend().name} backend",
+            f"  fan-out executor: {self._executor_impl.name}",
         ]
         if not self._index_meta:
             lines.append("  indexes: (none; queries fall back to scan)")

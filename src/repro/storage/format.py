@@ -83,7 +83,9 @@ def read_str(data: io.BufferedIOBase) -> str:
     encoded = data.read(length)
     if len(encoded) != length:
         raise CorruptIndexError("truncated string payload")
-    return encoded.decode("utf-8")
+    # bytes(...) handles the zero-copy readers whose read() returns
+    # memoryview slices (memoryview has no .decode).
+    return bytes(encoded).decode("utf-8")
 
 
 def write_bytes(out: io.BufferedIOBase, payload: bytes) -> None:

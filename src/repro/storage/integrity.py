@@ -177,7 +177,9 @@ def parse_frame(data: bytes, source: str = "<bytes>") -> list[tuple[str, bytes]]
         if offset + label_len + _DIR_ENTRY.size > len(data):
             raise corrupt("truncated section directory")
         try:
-            label = data[offset:offset + label_len].decode("utf-8")
+            # bytes(...) also accepts memoryview input (the mmap'd loaders
+            # hand whole-file views in, keeping payload slices zero-copy).
+            label = bytes(data[offset:offset + label_len]).decode("utf-8")
         except UnicodeDecodeError:
             raise corrupt("section label is not valid UTF-8")
         offset += label_len

@@ -14,6 +14,7 @@ plots for the VA-file.
 from __future__ import annotations
 
 import io
+import mmap
 import os
 import struct
 
@@ -44,6 +45,59 @@ _ENCODINGS: dict[str, type[BitmapIndex]] = {
 
 _QUANT_TAGS = {"uniform": 0, "vaplus": 1}
 _QUANT_NAMES = {tag: name for name, tag in _QUANT_TAGS.items()}
+
+
+class _BufferReader:
+    """A read/seek/tell stream over a buffer whose reads are zero-copy.
+
+    ``io.BytesIO`` copies its input up front, which defeats memory-mapped
+    loads: this reader keeps one :class:`memoryview` and returns subviews,
+    so a WAH payload loaded from an mmap'd index file aliases the page
+    cache all the way into its ``np.frombuffer`` word array.  Only the
+    stream methods the loaders use (:func:`repro.storage.format` readers)
+    are implemented.
+    """
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, view: memoryview):
+        self._view = view
+        self._pos = 0
+
+    def read(self, size: int = -1) -> memoryview:
+        if size is None or size < 0:
+            end = len(self._view)
+        else:
+            end = min(self._pos + size, len(self._view))
+        chunk = self._view[self._pos:end]
+        self._pos = end
+        return chunk
+
+    def tell(self) -> int:
+        return self._pos
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        if whence == io.SEEK_SET:
+            position = offset
+        elif whence == io.SEEK_CUR:
+            position = self._pos + offset
+        elif whence == io.SEEK_END:
+            position = len(self._view) + offset
+        else:
+            raise ValueError(f"unsupported whence {whence}")
+        if position < 0:
+            raise ValueError(f"negative seek position {position}")
+        self._pos = position
+        return position
+
+
+def _reader(data) -> _BufferReader:
+    """Wrap bytes / memoryview / mmap payloads in a zero-copy reader."""
+    if isinstance(data, _BufferReader):
+        return data
+    if not isinstance(data, memoryview):
+        data = memoryview(data)
+    return _BufferReader(data)
 
 
 # -- bitvector payloads -------------------------------------------------------
@@ -134,9 +188,14 @@ def dump_bitmap_index(index: BitmapIndex) -> bytes:
     )
 
 
-def load_bitmap_index(data: bytes) -> BitmapIndex:
-    """Deserialize a bitmap index; the result is fully queryable."""
-    stream = io.BytesIO(data)
+def load_bitmap_index(data) -> BitmapIndex:
+    """Deserialize a bitmap index; the result is fully queryable.
+
+    ``data`` may be ``bytes``, a :class:`memoryview` (e.g. over a shared
+    memory block or an mmap'd file), or a :class:`_BufferReader`; in every
+    case WAH/BBC payloads alias the input buffer zero-copy.
+    """
+    stream = _reader(data)
     kind, codec_tag, num_records, num_attributes = fmt.read_header(stream)
     if kind != fmt.KIND_BITMAP:
         raise CorruptIndexError("index file does not contain a bitmap index")
@@ -180,13 +239,36 @@ _PARSE_ERRORS = (ValueError, KeyError, IndexError, OverflowError,
                  struct.error, EOFError)
 
 
-def _read_payload(path: str | os.PathLike) -> bytes:
+def _read_payload(path: str | os.PathLike, use_mmap: bool = False):
     """A file's logical payload: framed sections re-joined, or raw bytes.
 
     Framed files get full checksum validation here; unframed files are
     accepted as legacy (pre-checksum) payloads and counted via the
     ``storage.legacy_loads`` counter.
+
+    With ``use_mmap=True`` the file is memory-mapped read-only and the
+    returned payload is a :class:`memoryview` over the mapping instead of
+    a heap copy.  RPF1 lays section payloads back to back after the
+    directory and :func:`parse_frame` enforces that they fill the file
+    exactly, so a validated frame's joined payload *is* the contiguous
+    tail of the mapping — no reassembly copy needed.  Checksum validation
+    still touches every page once; what mmap buys is that the resident
+    index words are backed by the page cache and shared across processes
+    mapping the same file (the process shard executor's bootstrap).
     """
+    if use_mmap:
+        with open(path, "rb") as handle:
+            size = os.fstat(handle.fileno()).st_size
+            if size == 0:
+                raise CorruptIndexError(f"{os.fspath(path)} is empty")
+            mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        view = memoryview(mapped)
+        if is_framed(view):
+            sections = parse_frame(view, source=os.fspath(path))
+            total = sum(len(payload) for _, payload in sections)
+            return view[len(view) - total:]
+        record("storage.legacy_loads")
+        return view
     with open(path, "rb") as handle:
         data = handle.read()
     if is_framed(data):
@@ -201,9 +283,15 @@ def save_bitmap_index(index: BitmapIndex, path: str | os.PathLike) -> int:
     return write_framed(path, dump_bitmap_index_sections(index))
 
 
-def load_bitmap_index_file(path: str | os.PathLike) -> BitmapIndex:
-    """Read an index file written by :func:`save_bitmap_index`."""
-    payload = _read_payload(path)
+def load_bitmap_index_file(path: str | os.PathLike,
+                           use_mmap: bool = False) -> BitmapIndex:
+    """Read an index file written by :func:`save_bitmap_index`.
+
+    With ``use_mmap=True`` the bitvector payloads stay zero-copy views over
+    a read-only memory mapping of the file, shared through the page cache
+    across processes mapping the same generation directory.
+    """
+    payload = _read_payload(path, use_mmap=use_mmap)
     try:
         return load_bitmap_index(payload)
     except CorruptIndexError as exc:
@@ -260,9 +348,12 @@ def dump_vafile(vafile: VAFile) -> bytes:
     return b"".join(payload for _, payload in dump_vafile_sections(vafile))
 
 
-def load_vafile(data: bytes, table: IncompleteTable) -> VAFile:
-    """Deserialize a VA-file over the table it was built from."""
-    stream = io.BytesIO(data)
+def load_vafile(data, table: IncompleteTable) -> VAFile:
+    """Deserialize a VA-file over the table it was built from.
+
+    Accepts the same buffer types as :func:`load_bitmap_index`.
+    """
+    stream = _reader(data)
     kind, _, num_records, num_attributes = fmt.read_header(stream)
     if kind != fmt.KIND_VAFILE:
         raise CorruptIndexError("index file does not contain a VA-file")
@@ -314,9 +405,14 @@ def save_vafile(vafile: VAFile, path: str | os.PathLike) -> int:
     return write_framed(path, dump_vafile_sections(vafile))
 
 
-def load_vafile_file(path: str | os.PathLike, table: IncompleteTable) -> VAFile:
-    """Read an index file written by :func:`save_vafile`."""
-    payload = _read_payload(path)
+def load_vafile_file(path: str | os.PathLike, table: IncompleteTable,
+                     use_mmap: bool = False) -> VAFile:
+    """Read an index file written by :func:`save_vafile`.
+
+    ``use_mmap=True`` keeps the packed code array a view over a read-only
+    memory mapping instead of a heap copy.
+    """
+    payload = _read_payload(path, use_mmap=use_mmap)
     try:
         return load_vafile(payload, table)
     except CorruptIndexError as exc:

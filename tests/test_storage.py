@@ -195,3 +195,60 @@ class TestFramingCompat:
         assert np.array_equal(loaded_va.codes("a"), va.codes("a"))
         counters = registry.snapshot().counters
         assert counters["storage.legacy_loads"] == 2
+
+class TestMmapLoads:
+    """``use_mmap=True`` loads answer identically with zero-copy payloads."""
+
+    @pytest.mark.parametrize("codec", ["none", "wah", "bbc"])
+    def test_mmap_bitmap_load_answers_identically(self, table, tmp_path, codec):
+        index = RangeEncodedBitmapIndex(table, codec=codec)
+        path = tmp_path / "ix.idx"
+        save_bitmap_index(index, path)
+        loaded = load_bitmap_index_file(path, use_mmap=True)
+        for semantics in MissingSemantics:
+            assert np.array_equal(
+                loaded.execute_ids(QUERY, semantics),
+                index.execute_ids(QUERY, semantics),
+            )
+
+    def test_mmap_vafile_load_answers_identically(self, table, tmp_path):
+        va = VAFile(table)
+        path = tmp_path / "va.idx"
+        save_vafile(va, path)
+        loaded = load_vafile_file(path, table, use_mmap=True)
+        assert np.array_equal(loaded.codes("a"), va.codes("a"))
+        for semantics in MissingSemantics:
+            assert np.array_equal(
+                loaded.execute_ids(QUERY, semantics),
+                va.execute_ids(QUERY, semantics),
+            )
+
+    def test_mmap_validates_checksums(self, table, tmp_path):
+        path = tmp_path / "ix.idx"
+        save_bitmap_index(EqualityEncodedBitmapIndex(table), path)
+        blob = bytearray(path.read_bytes())
+        blob[-3] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(CorruptIndexError):
+            load_bitmap_index_file(path, use_mmap=True)
+
+    def test_mmap_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.idx"
+        path.write_bytes(b"")
+        with pytest.raises(CorruptIndexError):
+            load_bitmap_index_file(path, use_mmap=True)
+
+    def test_mmap_legacy_unframed_counted(self, table, tmp_path):
+        from repro.observability import use_registry
+
+        index = EqualityEncodedBitmapIndex(table, codec="wah")
+        path = tmp_path / "old-ix.idx"
+        path.write_bytes(dump_bitmap_index(index))
+        with use_registry() as registry:
+            loaded = load_bitmap_index_file(path, use_mmap=True)
+        assert np.array_equal(
+            loaded.execute_ids(QUERY, MissingSemantics.IS_MATCH),
+            index.execute_ids(QUERY, MissingSemantics.IS_MATCH),
+        )
+        counters = registry.snapshot().counters
+        assert counters["storage.legacy_loads"] == 1
