@@ -23,6 +23,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from repro import forksafe
 from repro import observability as obs
 from repro.baselines.bitstring import BitstringAugmentedIndex
 from repro.baselines.gridfile import GridFileIndex
@@ -36,8 +37,9 @@ from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
 from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
 from repro.bitvector.ops import OpCounter
 from repro.core.cache import DEFAULT_CACHE_BYTES, SubResultCache
+from repro.core.sync import ReadWriteLock
 from repro.dataset.schema import AttributeSpec, Schema
-from repro.dataset.table import IncompleteTable
+from repro.dataset.table import IncompleteTable, concat_tables
 from repro.errors import QueryError, ReproError
 from repro.query.model import MissingSemantics, RangeQuery
 from repro.vafile.vafile import VAFile
@@ -88,6 +90,10 @@ class AttachedIndex:
     kind: str
     index: object
     attributes: tuple[str, ...]
+    #: Constructor options the index was built with (``codec=``, ``bits=``,
+    #: ...).  Kept so writer-path mutations can rebuild the index faithfully
+    #: over a new table; empty for indexes attached without them.
+    options: dict = field(default_factory=dict)
 
     def covers(self, query: RangeQuery) -> bool:
         """Whether every query attribute is indexed by this index."""
@@ -137,6 +143,17 @@ class IncompleteDatabase:
         self._query_counts: dict[str, int] = {}
         self._counts_lock = threading.Lock()
         self._cache = SubResultCache(max_bytes=cache_bytes)
+        # Mutation fence: queries hold the shared side, append/delete/
+        # compact and index DDL hold the exclusive side, so a reader
+        # mid-batch never sees half a mutation (a "torn generation").
+        self._rwlock = ReadWriteLock()
+        self._generation = 0
+        # Logical deletes: boolean alive-filter over the current table, or
+        # None when nothing is tombstoned.  Applied as a uniform post-filter
+        # so every access method (and the scan) stays correct without
+        # per-index delete support.
+        self._tombstones: np.ndarray | None = None
+        forksafe.register(self._rwlock)
 
     @classmethod
     def from_columns(
@@ -240,10 +257,14 @@ class IncompleteDatabase:
                 f"unknown index kind {kind!r}; expected one of {sorted(_BUILDERS)}"
             )
         attrs = tuple(attributes) if attributes is not None else self._table.schema.names
-        index = builder(self._table, list(attrs), **options)
-        attached = AttachedIndex(name=name, kind=kind, index=index, attributes=attrs)
-        self._cache.invalidate(name)
-        self._indexes[name] = attached
+        with self._rwlock.write():
+            index = builder(self._table, list(attrs), **options)
+            attached = AttachedIndex(
+                name=name, kind=kind, index=index, attributes=attrs,
+                options=dict(options),
+            )
+            self._cache.invalidate(name)
+            self._indexes[name] = attached
         return attached
 
     def attach_index(
@@ -253,6 +274,7 @@ class IncompleteDatabase:
         index: object,
         attributes: Iterable[str] | None = None,
         overwrite: bool = False,
+        options: Mapping | None = None,
     ) -> AttachedIndex:
         """Register an already-built index (e.g. one loaded from disk).
 
@@ -285,9 +307,13 @@ class IncompleteDatabase:
             if attributes is not None
             else tuple(getattr(index, "attributes", self._table.schema.names))
         )
-        attached = AttachedIndex(name=name, kind=kind, index=index, attributes=attrs)
-        self._cache.invalidate(name)
-        self._indexes[name] = attached
+        attached = AttachedIndex(
+            name=name, kind=kind, index=index, attributes=attrs,
+            options=dict(options or {}),
+        )
+        with self._rwlock.write():
+            self._cache.invalidate(name)
+            self._indexes[name] = attached
         return attached
 
     def attach_loaded_index(
@@ -329,16 +355,18 @@ class IncompleteDatabase:
             else tuple(getattr(index, "attributes", self._table.schema.names))
         )
         attached = AttachedIndex(name=name, kind=kind, index=index, attributes=attrs)
-        self._cache.invalidate(name)
-        self._indexes[name] = attached
+        with self._rwlock.write():
+            self._cache.invalidate(name)
+            self._indexes[name] = attached
         return attached
 
     def drop_index(self, name: str) -> None:
         """Detach an index by name, dropping its cached sub-results."""
         if name not in self._indexes:
             raise ReproError(f"no index named {name!r}")
-        del self._indexes[name]
-        self._cache.invalidate(name)
+        with self._rwlock.write():
+            del self._indexes[name]
+            self._cache.invalidate(name)
 
     def get_index(self, name: str) -> AttachedIndex:
         """Look up an attached index."""
@@ -346,6 +374,127 @@ class IncompleteDatabase:
             return self._indexes[name]
         except KeyError:
             raise ReproError(f"no index named {name!r}")
+
+    # -- mutation ----------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Mutation fence: bumped on every append/delete/compact."""
+        return self._generation
+
+    @property
+    def num_tombstoned(self) -> int:
+        """Rows logically deleted but not yet compacted away."""
+        return 0 if self._tombstones is None else int(self._tombstones.sum())
+
+    def _rebuilt_indexes(self, table: IncompleteTable) -> dict[str, AttachedIndex]:
+        """Rebuild every attached index over ``table`` (same kinds/options).
+
+        Bitmap generations carry forward (old + 1) so cache keys from the
+        pre-mutation index can never collide with the rebuilt one, even if
+        an entry somehow outlives the whole-cache invalidation.
+        """
+        rebuilt: dict[str, AttachedIndex] = {}
+        for att in self._indexes.values():
+            index = _BUILDERS[att.kind](table, list(att.attributes), **att.options)
+            if isinstance(index, BitmapIndex) and isinstance(
+                att.index, BitmapIndex
+            ):
+                index._generation = att.index._generation + 1
+            rebuilt[att.name] = AttachedIndex(
+                name=att.name, kind=att.kind, index=index,
+                attributes=att.attributes, options=att.options,
+            )
+        return rebuilt
+
+    def _install_table(self, table: IncompleteTable) -> None:
+        """Swap in a new table + rebuilt indexes (caller holds the write lock)."""
+        self._indexes = self._rebuilt_indexes(table)
+        self._table = table
+        self._scan = SequentialScan(table)
+        self._statistics = None
+        self._cache.invalidate()
+        self._generation += 1
+
+    def append(
+        self, rows: IncompleteTable | Mapping[str, "np.ndarray"]
+    ) -> int:
+        """Append rows, rebuilding every attached index over the new table.
+
+        ``rows`` is an :class:`IncompleteTable` with the same schema, or a
+        ``{attribute: values}`` mapping (0 = missing).  Existing record ids
+        are stable; new rows get ids ``num_records..num_records+n-1``.
+        Atomic with respect to queries: readers see either the old table
+        and indexes or the new ones, never a mix, and the sub-result cache
+        is invalidated under the same lock that swaps the index set.
+        Returns the number of rows appended.
+        """
+        if not isinstance(rows, IncompleteTable):
+            rows = IncompleteTable(
+                self._table.schema,
+                {name: np.asarray(col) for name, col in rows.items()},
+            )
+        added = rows.num_records
+        with self._rwlock.write():
+            merged = concat_tables(self._table, rows)
+            old_tombstones = self._tombstones
+            self._install_table(merged)
+            if old_tombstones is not None:
+                self._tombstones = np.concatenate(
+                    [old_tombstones, np.zeros(added, dtype=bool)]
+                )
+        if obs.enabled():
+            obs.record("engine.appends")
+            obs.record("engine.appended_rows", added)
+        return added
+
+    def delete(self, record_ids: Iterable[int]) -> int:
+        """Tombstone rows by record id; returns how many were newly deleted.
+
+        Deletes are logical: matching ids simply stop appearing in query
+        results (every access method shares one post-filter), and
+        :meth:`compact` reclaims them.  Ids out of range raise; deleting an
+        already-deleted id is a no-op.
+        """
+        ids = np.asarray(list(record_ids), dtype=np.int64)
+        if ids.size == 0:
+            return 0
+        if ids.min() < 0 or ids.max() >= self._table.num_records:
+            raise QueryError(
+                f"record ids must be in [0, {self._table.num_records}); "
+                f"got range [{ids.min()}, {ids.max()}]"
+            )
+        with self._rwlock.write():
+            if self._tombstones is None:
+                self._tombstones = np.zeros(
+                    self._table.num_records, dtype=bool
+                )
+            newly = int((~self._tombstones[ids]).sum())
+            self._tombstones[ids] = True
+            self._cache.invalidate()
+            self._generation += 1
+        if obs.enabled():
+            obs.record("engine.deletes")
+            obs.record("engine.deleted_rows", newly)
+        return newly
+
+    def compact(self) -> np.ndarray:
+        """Drop tombstoned rows and rebuild indexes over the survivors.
+
+        Returns the old record ids that survived, in order — the new id of
+        ``kept[i]`` is ``i``.  A no-op (identity mapping) when nothing is
+        tombstoned.
+        """
+        with self._rwlock.write():
+            if self._tombstones is None or not self._tombstones.any():
+                self._tombstones = None
+                return np.arange(self._table.num_records, dtype=np.int64)
+            kept = np.flatnonzero(~self._tombstones).astype(np.int64)
+            self._install_table(self._table.take(kept))
+            self._tombstones = None
+        if obs.enabled():
+            obs.record("engine.compacts")
+        return kept
 
     # -- planning ----------------------------------------------------------
 
@@ -450,7 +599,8 @@ class IncompleteDatabase:
         """
         if not isinstance(query, RangeQuery):
             query = RangeQuery.from_bounds(query)
-        return self._execute_query(query, semantics, using, trace)
+        with self._rwlock.read():
+            return self._execute_query(query, semantics, using, trace)
 
     def _execute_query(
         self,
@@ -546,6 +696,9 @@ class IncompleteDatabase:
                     ids = np.asarray(
                         index.execute_ids(query, semantics, **kwargs)
                     )
+            if self._tombstones is not None:
+                ids = np.asarray(ids)
+                ids = ids[~self._tombstones[ids]]
             elapsed_ns = time.perf_counter_ns() - start
             with self._counts_lock:
                 self._query_counts[name] = self._query_counts.get(name, 0) + 1
@@ -648,29 +801,32 @@ class IncompleteDatabase:
             sub_cache = None
         else:
             sub_cache = cache
-        planned: list[tuple] = []
-        for query in normalized:
-            if using is not None:
-                chosen = self.get_index(using)
-                if not chosen.covers(query):
-                    raise QueryError(
-                        f"index {using!r} does not cover attributes "
-                        f"{sorted(set(query.attributes) - set(chosen.attributes))}"
-                    )
-                planned.append((chosen, None, True))
-            else:
-                chosen, plans = self._plan(query, semantics)
-                estimate = None
-                if chosen is not None:
-                    estimate = next(
-                        (p for p in plans if p.index_name == chosen.name),
-                        None,
-                    )
-                planned.append((chosen, estimate, False))
-        reports = self._run_planned_batch(
-            normalized, planned, semantics, trace, sub_cache, parallel,
-            max_workers,
-        )
+        with self._rwlock.read():
+            # Plan + run under one shared hold, so a writer can never swap
+            # the index set between a batch's planning and its execution.
+            planned: list[tuple] = []
+            for query in normalized:
+                if using is not None:
+                    chosen = self.get_index(using)
+                    if not chosen.covers(query):
+                        raise QueryError(
+                            f"index {using!r} does not cover attributes "
+                            f"{sorted(set(query.attributes) - set(chosen.attributes))}"
+                        )
+                    planned.append((chosen, None, True))
+                else:
+                    chosen, plans = self._plan(query, semantics)
+                    estimate = None
+                    if chosen is not None:
+                        estimate = next(
+                            (p for p in plans if p.index_name == chosen.name),
+                            None,
+                        )
+                    planned.append((chosen, estimate, False))
+            reports = self._run_planned_batch(
+                normalized, planned, semantics, trace, sub_cache, parallel,
+                max_workers,
+            )
         if obs.enabled():
             obs.record("engine.batches")
             obs.record("engine.batch_queries", len(normalized))
@@ -774,31 +930,39 @@ class IncompleteDatabase:
                 f"expected a Predicate, got {type(predicate).__name__}"
             )
         attrs = predicate.attributes()
-        if using is not None:
-            chosen = self.get_index(using)
-            if not attrs <= set(chosen.attributes):
-                raise QueryError(
-                    f"index {using!r} does not cover attributes "
-                    f"{sorted(attrs - set(chosen.attributes))}"
-                )
-        else:
-            chosen = None
-            rank = {kind: pos for pos, kind in enumerate(_PREFERENCE)}
-            covering = [
-                ix
-                for ix in self._indexes.values()
-                if attrs <= set(ix.attributes)
-                and hasattr(ix.index, "execute_predicate_ids")
-            ]
-            if covering:
-                chosen = min(covering, key=lambda ix: rank.get(ix.kind, len(rank)))
-        if chosen is None or not hasattr(chosen.index, "execute_predicate_ids"):
-            ids = evaluate_predicate(self._table, predicate, semantics)
-            return QueryReport(index_name="<scan>", kind="scan", record_ids=ids)
-        ids = chosen.index.execute_predicate_ids(predicate, semantics)
-        return QueryReport(
-            index_name=chosen.name, kind=chosen.kind, record_ids=ids
-        )
+        with self._rwlock.read():
+            if using is not None:
+                chosen = self.get_index(using)
+                if not attrs <= set(chosen.attributes):
+                    raise QueryError(
+                        f"index {using!r} does not cover attributes "
+                        f"{sorted(attrs - set(chosen.attributes))}"
+                    )
+            else:
+                chosen = None
+                rank = {kind: pos for pos, kind in enumerate(_PREFERENCE)}
+                covering = [
+                    ix
+                    for ix in self._indexes.values()
+                    if attrs <= set(ix.attributes)
+                    and hasattr(ix.index, "execute_predicate_ids")
+                ]
+                if covering:
+                    chosen = min(
+                        covering, key=lambda ix: rank.get(ix.kind, len(rank))
+                    )
+            if chosen is None or not hasattr(
+                chosen.index, "execute_predicate_ids"
+            ):
+                ids = evaluate_predicate(self._table, predicate, semantics)
+                name, kind = "<scan>", "scan"
+            else:
+                ids = chosen.index.execute_predicate_ids(predicate, semantics)
+                name, kind = chosen.name, chosen.kind
+            if self._tombstones is not None:
+                ids = np.asarray(ids)
+                ids = ids[~self._tombstones[ids]]
+        return QueryReport(index_name=name, kind=kind, record_ids=ids)
 
     def fetch(
         self,
@@ -807,8 +971,9 @@ class IncompleteDatabase:
         using: str | None = None,
     ) -> IncompleteTable:
         """Materialize the matching rows as a new table."""
-        report = self.query(query, semantics, using)
-        return self._table.take(report.record_ids)
+        with self._rwlock.read():
+            report = self.query(query, semantics, using)
+            return self._table.take(report.record_ids)
 
     # -- introspection ---------------------------------------------------------
 

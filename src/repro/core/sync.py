@@ -1,0 +1,97 @@
+"""A small reader-writer lock for the engine's mutation fence.
+
+:class:`ReadWriteLock` lets any number of query executions proceed
+concurrently while writer-path mutations (``append``/``delete``/
+``compact``/index DDL on :class:`~repro.core.engine.IncompleteDatabase`)
+get exclusive access — so a reader that is mid-batch can never observe a
+*torn generation*: half its queries answered by the pre-mutation index
+set and half by the post-mutation one.
+
+Properties:
+
+* **Reentrant for readers.**  Read depth is tracked per thread, so the
+  batch executor (which acquires at ``execute_batch`` level) can call
+  back into ``execute``-level code without deadlocking, even while a
+  writer is queued.
+* **Writer preference.**  A waiting writer blocks *new* top-level
+  readers, so a steady query stream cannot starve mutations forever.
+* **Fork-safe.**  Holders register with :mod:`repro.forksafe`; a fork
+  child gets a fresh lock instead of one cloned mid-held by a parent
+  thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Shared-read / exclusive-write lock with reentrant read sections."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+        self._local = threading.local()
+
+    def _reset_after_fork(self) -> None:
+        # A fork child must not inherit reader/writer state held by parent
+        # threads that do not exist in the child.
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writers_waiting = 0
+        self._writing = False
+        self._local = threading.local()
+
+    @property
+    def read_depth(self) -> int:
+        """This thread's current read-section nesting depth."""
+        return getattr(self._local, "depth", 0)
+
+    @contextmanager
+    def read(self) -> Iterator[None]:
+        """Hold the lock shared for the ``with`` body (reentrant)."""
+        depth = getattr(self._local, "depth", 0)
+        if depth == 0:
+            with self._cond:
+                while self._writing or self._writers_waiting:
+                    self._cond.wait()
+                self._readers += 1
+        self._local.depth = depth + 1
+        try:
+            yield
+        finally:
+            self._local.depth -= 1
+            if self._local.depth == 0:
+                with self._cond:
+                    self._readers -= 1
+                    if self._readers == 0:
+                        self._cond.notify_all()
+
+    @contextmanager
+    def write(self) -> Iterator[None]:
+        """Hold the lock exclusive for the ``with`` body (not reentrant)."""
+        if getattr(self._local, "depth", 0):
+            raise RuntimeError(
+                "cannot acquire the write lock inside a read section "
+                "(a query path is trying to mutate the database)"
+            )
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writing = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()

@@ -11,6 +11,7 @@ Usage::
     python -m repro.experiments bench micro_ops --check
     python -m repro.experiments bench --against BENCH_micro_ops.json
     python -m repro.experiments serve-metrics   # live telemetry + demo load
+    python -m repro.experiments serve           # query service (see below)
 
 Each experiment prints the same series the paper plots; EXPERIMENTS.md
 records a reference run next to the paper's reported values.  The ``fsck``
@@ -21,7 +22,8 @@ subcommand runs the tracked performance suites and writes machine-readable
 ``BENCH_<area>.json`` files (see ``docs/kernels.md``) and, with
 ``--against``, gates them against committed baselines (see
 ``docs/observability.md``).  The ``serve-metrics`` subcommand starts the
-live telemetry endpoint over a demo workload.
+live telemetry endpoint over a demo workload; ``serve`` starts the
+epoch-pinned JSON query service itself (see ``docs/serving.md``).
 """
 
 from __future__ import annotations
@@ -108,6 +110,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments.serve_metrics import serve_metrics_main
 
         return serve_metrics_main(argv[1:])
+    if argv[:1] == ["serve"]:
+        from repro.experiments.serve_cli import serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the paper's figures and tables.",

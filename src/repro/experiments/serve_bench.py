@@ -1,0 +1,185 @@
+"""Serve-path concurrency driver: HTTP throughput/latency vs client count.
+
+Measures the :mod:`repro.serve` stack end to end — JSON parse, admission
+control, epoch pin, sharded execution, response encode — the way
+``fig4_sharded`` measures the bare scatter-gather path.  A
+:class:`~repro.serve.QueryService` is booted over a memory-only sharded
+snapshot and hammered with the same fixed range-query workload at
+increasing client-thread counts (each client holds one keep-alive
+connection and issues its share of the requests).
+
+Reported per client count, under both missing semantics:
+
+* ``qps`` — completed requests per second across all clients,
+* ``p50_ms`` / ``p99_ms`` — per-request wall-clock quantiles as the
+  clients saw them (queueing included),
+* ``errors`` — non-200 responses (admission rejections would land here;
+  the sweep stays within ``max_inflight`` so any nonzero is a bug),
+* ``identical`` — whether every concurrent response's record ids were
+  bit-identical to a single-threaded oracle run against the same
+  snapshot.
+
+Only ``identical`` is guarded by the bench regression gate
+(:mod:`repro.experiments.regression`): qps and latency move with the
+machine, correctness under concurrency must not.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import statistics
+import threading
+import time
+
+import numpy as np
+
+from repro.dataset.synthetic import generate_uniform_table
+from repro.experiments.harness import ExperimentResult
+from repro.query.model import MissingSemantics, RangeQuery
+from repro.serve import QueryService
+from repro.shard.sharded import ShardedDatabase
+
+__all__ = ["run_serve_concurrency"]
+
+
+def _workload(num_queries: int, seed: int = 11) -> list[dict]:
+    """Mixed-selectivity range bodies over the Table 7-style attributes."""
+    rng = np.random.default_rng(seed)
+    bodies = []
+    for i in range(num_queries):
+        lo = int(rng.integers(1, 90))
+        hi = min(100, lo + int(rng.integers(1, 12)))
+        lo2 = int(rng.integers(1, 40))
+        hi2 = min(50, lo2 + int(rng.integers(5, 25)))
+        semantics = list(MissingSemantics)[i % 2]
+        bodies.append(
+            {
+                "bounds": {"a": [lo, hi], "b": [lo2, hi2]},
+                "semantics": semantics.value,
+            }
+        )
+    return bodies
+
+
+def _oracle(db: ShardedDatabase, bodies: list[dict]) -> list[list[int]]:
+    """Single-threaded expected record ids, one list per workload body."""
+    expected = []
+    for body in bodies:
+        query = RangeQuery.from_bounds(
+            {name: (lo, hi) for name, (lo, hi) in body["bounds"].items()}
+        )
+        report = db.execute(query, MissingSemantics(body["semantics"]))
+        expected.append([int(i) for i in report.record_ids])
+    return expected
+
+
+def _client(
+    host: str,
+    port: int,
+    jobs: list[tuple[dict, list[int]]],
+    latencies: list[float],
+    outcomes: list[bool],
+    errors: list[int],
+) -> None:
+    """One keep-alive client: POST each job, check ids against the oracle."""
+    conn = http.client.HTTPConnection(host, port, timeout=30)
+    try:
+        for body, expected in jobs:
+            payload = json.dumps(body)
+            start = time.perf_counter()
+            conn.request(
+                "POST", "/query", body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            data = response.read()
+            latencies.append((time.perf_counter() - start) * 1e3)
+            if response.status != 200:
+                errors.append(response.status)
+                outcomes.append(False)
+                continue
+            outcomes.append(json.loads(data)["record_ids"] == expected)
+    finally:
+        conn.close()
+
+
+def run_serve_concurrency(
+    num_records: int = 30_000,
+    num_queries: int = 40,
+    client_counts: tuple[int, ...] = (1, 2, 4, 8),
+    rounds: int = 3,
+) -> ExperimentResult:
+    """Sweep concurrent HTTP clients against one epoch-pinned snapshot.
+
+    Each configuration replays the whole ``num_queries`` workload
+    ``rounds`` times, split across ``clients`` threads; every response is
+    checked against a single-threaded oracle computed up front.
+    """
+    table = generate_uniform_table(
+        num_records,
+        {"a": 100, "b": 50, "c": 20},
+        {"a": 0.1, "b": 0.2, "c": 0.3},
+        seed=2006,
+    )
+    database = ShardedDatabase(table, num_shards=4)
+    database.create_index("ix", "bre")
+    bodies = _workload(num_queries)
+    expected = _oracle(database, bodies)
+    jobs = list(zip(bodies, expected)) * rounds
+
+    result = ExperimentResult(
+        title=(
+            f"Serve concurrency: {num_records} records, "
+            f"{len(jobs)} requests per sweep, both semantics"
+        ),
+        x_label="clients",
+        columns=["qps", "p50_ms", "p99_ms", "errors", "identical"],
+    )
+
+    service = QueryService(
+        database=database, max_inflight=max(client_counts)
+    ).start()
+    try:
+        for clients in client_counts:
+            shares = [jobs[i::clients] for i in range(clients)]
+            latencies: list[float] = []
+            outcomes: list[bool] = []
+            errors: list[int] = []
+            threads = [
+                threading.Thread(
+                    target=_client,
+                    args=(service.host, service.port, share,
+                          latencies, outcomes, errors),
+                )
+                for share in shares
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            ordered = sorted(latencies)
+            result.add_row(
+                clients,
+                round(len(jobs) / elapsed, 1),
+                round(statistics.median(ordered), 3),
+                round(ordered[max(0, int(len(ordered) * 0.99) - 1)], 3),
+                len(errors),
+                bool(outcomes) and all(outcomes),
+            )
+    finally:
+        service.stop()
+
+    result.notes.append(
+        "identical=True means every concurrent HTTP response carried the "
+        "same record ids as a single-threaded oracle over the pinned "
+        "snapshot, under both missing semantics"
+    )
+    result.notes.append(
+        "latency quantiles are client-observed (JSON encode/decode and "
+        "admission queueing included); only 'identical' is guarded by the "
+        "bench regression gate"
+    )
+    return result

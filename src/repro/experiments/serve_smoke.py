@@ -1,0 +1,265 @@
+"""CI smoke check for the query service (``serve-smoke`` job).
+
+End-to-end, in one process: save a sharded database to disk, boot a
+:class:`~repro.serve.QueryService` over the directory, and drive
+concurrent mixed traffic — several reader threads rotating through every
+read route under both missing semantics while a writer thread publishes
+new epochs (append / delete / compact) through the same service.  The
+introspection routes are scraped *while* the traffic runs.  Then
+validate:
+
+* every reader and writer request returned 200 — zero 5xx (or any other
+  non-200) across the whole run;
+* the epoch lifecycle actually cycled: epochs were published, stale
+  snapshots were garbage-collected (``gcs > 0``), and after the drain
+  exactly one epoch remains retained with zero pins;
+* on disk, only the final committed generation directory survives, and
+  the directory still passes :func:`~repro.storage.verify_sharded` — the
+  crash-safety invariant (previous epoch loadable at every instant)
+  holds at least at the endpoints of the run;
+* the ``/metrics`` payload is well-formed Prometheus text exposition and
+  carries the ``serve.*`` and ``epoch.*`` instrumentation.
+
+Exit status is non-zero on any failure, so CI can gate on it::
+
+    PYTHONPATH=src python -m repro.experiments.serve_smoke
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import tempfile
+import threading
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+import numpy as np
+
+from repro import observability as obs
+from repro.dataset.synthetic import generate_uniform_table
+from repro.experiments.obs_smoke import (
+    SmokeFailure,
+    _check,
+    _fetch,
+    validate_prometheus,
+)
+from repro.query.model import MissingSemantics
+from repro.serve import QueryService
+from repro.shard import ShardedDatabase, save_sharded
+
+_RECORDS = 6_000
+_SCHEMA = {"a": 50, "b": 20}
+_MISSING = {"a": 0.1, "b": 0.2}
+_READERS = 4
+_READS_PER_READER = 25
+_WRITER_ROUNDS = 4  # each round: append, delete, compact = 3 epochs
+
+
+def _post(url: str, payload: dict) -> tuple[int, dict]:
+    """POST JSON; returns (status, decoded body). HTTP errors don't raise."""
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        try:
+            body = json.loads(err.read())
+        except (ValueError, OSError):
+            body = {}
+        return err.code, body
+
+
+def _read_bodies(seed: int) -> list[tuple[str, dict]]:
+    """One reader's scripted requests, rotating routes and semantics."""
+    rng = np.random.default_rng(seed)
+    requests = []
+    for i in range(_READS_PER_READER):
+        lo = int(rng.integers(1, 40))
+        semantics = list(MissingSemantics)[i % 2].value
+        route = ("/query", "/count", "/batch", "/boolean", "/explain")[i % 5]
+        if route == "/batch":
+            body = {
+                "queries": [{"a": [lo, lo + 5]}, {"b": [1, 10]}],
+                "semantics": semantics,
+            }
+        elif route == "/boolean":
+            body = {
+                "predicate": {
+                    "and": [
+                        {"atom": {"attribute": "a", "lo": lo, "hi": lo + 8}},
+                        {"not": {"atom": {"attribute": "b", "lo": 1, "hi": 4}}},
+                    ]
+                },
+                "semantics": semantics,
+            }
+        else:
+            body = {
+                "bounds": {"a": [lo, lo + 5]},
+                "semantics": semantics,
+                "limit": 16,
+            }
+        requests.append((route, body))
+    return requests
+
+
+def _reader(url: str, seed: int, failures: list) -> None:
+    for route, body in _read_bodies(seed):
+        status, payload = _post(url + route, body)
+        if status != 200:
+            failures.append((route, status, payload.get("error")))
+
+
+def _writer(url: str, failures: list, epochs: list) -> None:
+    """Publish epochs through the service while the readers run."""
+    rng = np.random.default_rng(99)
+    for _ in range(_WRITER_ROUNDS):
+        batch = 64
+        ops = [
+            ("/append", {
+                "rows": {
+                    "a": [int(v) for v in rng.integers(1, 51, batch)],
+                    "b": [int(v) for v in rng.integers(1, 21, batch)],
+                },
+            }),
+            ("/delete", {
+                "record_ids": [int(v) for v in rng.integers(0, _RECORDS, 8)],
+            }),
+            ("/compact", {}),
+        ]
+        for route, body in ops:
+            status, payload = _post(url + route, body)
+            if status != 200:
+                failures.append((route, status, payload.get("error")))
+            else:
+                epochs.append(payload["epoch"])
+
+
+def serve_smoke_main() -> int:
+    obs.set_registry(obs.MetricsRegistry())
+    obs.set_recorder(obs.WorkloadRecorder())
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        directory = Path(tmp) / "db"
+        table = generate_uniform_table(_RECORDS, _SCHEMA, _MISSING, seed=21)
+        with ShardedDatabase(table, num_shards=3) as db:
+            db.create_index("ix", "bre")
+            save_sharded(db, directory)
+
+        service = QueryService(
+            directory=directory, max_inflight=8, queue_limit=64
+        ).start()
+        try:
+            failures: list = []
+            epochs: list[int] = []
+            threads = [
+                threading.Thread(
+                    target=_reader, args=(service.url, 100 + i, failures)
+                )
+                for i in range(_READERS)
+            ]
+            threads.append(
+                threading.Thread(
+                    target=_writer, args=(service.url, failures, epochs)
+                )
+            )
+            for thread in threads:
+                thread.start()
+            # Scrape the admission-exempt routes while traffic is running.
+            live_scrapes = 0
+            while any(thread.is_alive() for thread in threads):
+                for route in ("/healthz", "/epochs", "/metrics"):
+                    status, _, _ = _fetch(service.url + route)
+                    _check(status == 200, f"{route} returned {status} mid-run")
+                    live_scrapes += 1
+            for thread in threads:
+                thread.join()
+
+            _check(not failures, f"non-200 responses: {failures[:5]}")
+            expected_epochs = 3 * _WRITER_ROUNDS
+            _check(
+                len(epochs) == expected_epochs and sorted(epochs) == epochs,
+                f"writer saw epochs {epochs}, expected {expected_epochs} "
+                f"monotonically increasing",
+            )
+
+            status, _, body = _fetch(service.url + "/epochs")
+            _check(status == 200, f"/epochs returned {status}")
+            stats = json.loads(body)
+            _check(
+                stats["published"] == expected_epochs,
+                f"published {stats['published']}, expected {expected_epochs}",
+            )
+            _check(stats["gcs"] > 0, f"no epoch was garbage-collected: {stats}")
+            _check(
+                stats["retained"] == 1 and stats["pinned"] == 0,
+                f"expected 1 retained / 0 pinned after drain, got {stats}",
+            )
+            _check(
+                stats["current_epoch"] == epochs[-1],
+                f"current epoch {stats['current_epoch']} is not the last "
+                f"published {epochs[-1]}",
+            )
+
+            status, content_type, metrics_body = _fetch(
+                service.url + "/metrics"
+            )
+            _check(status == 200, f"/metrics returned {status}")
+            _check(
+                content_type.startswith("text/plain")
+                and "0.0.4" in content_type,
+                f"/metrics content-type {content_type!r} is not 0.0.4",
+            )
+            num_samples = validate_prometheus(metrics_body)
+            for family in (
+                f"{service.prefix}_serve_requests_total",
+                f"{service.prefix}_epoch_publishes_total",
+                f"{service.prefix}_epoch_gcs_total",
+            ):
+                _check(
+                    family in metrics_body,
+                    f"{family} missing from /metrics",
+                )
+            gcs_total = stats["gcs"]
+        finally:
+            service.stop()
+
+        # After the drain only the committed generation may survive, and
+        # the directory must still be a loadable, verifiable save.
+        gen_dirs = sorted(
+            child.name for child in directory.iterdir() if child.is_dir()
+        )
+        _check(
+            gen_dirs == [f"gen-{epochs[-1]:06d}"],
+            f"expected only the final generation on disk, found {gen_dirs}",
+        )
+        from repro.storage import verify_sharded
+
+        report = verify_sharded(directory)
+        _check(report.ok, f"post-run fsck failed:\n{report.format()}")
+
+    print(
+        f"serve-smoke OK: {_READERS} readers x {_READS_PER_READER} requests "
+        f"+ {expected_epochs} epochs published, {gcs_total} GC'd, zero "
+        f"non-200s, {live_scrapes} live scrapes, {num_samples} Prometheus "
+        f"samples, final generation fsck clean"
+    )
+    return 0
+
+
+def main() -> int:
+    try:
+        return serve_smoke_main()
+    except SmokeFailure as failure:
+        print(f"serve-smoke FAILED: {failure}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

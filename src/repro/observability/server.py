@@ -39,6 +39,15 @@ _ROUTES = ("/metrics", "/healthz", "/varz", "/workload")
 _RECENT_RECORDS = 50
 
 
+class _TelemetryHTTPServer(ThreadingHTTPServer):
+    # Tests and smoke jobs restart endpoints rapidly; SO_REUSEADDR keeps a
+    # lingering TIME_WAIT socket from failing the bind.  Explicit (rather
+    # than inherited) so the policy is shared verbatim with the query
+    # service's HTTP server.
+    allow_reuse_address = True
+    daemon_threads = True
+
+
 class _TelemetryHandler(BaseHTTPRequestHandler):
     """Routes one scrape; the owning :class:`TelemetryServer` is on the server."""
 
@@ -114,8 +123,7 @@ class TelemetryServer:
         self.prefix = prefix
         self.database = database
         self.started_at = time.time()
-        self._httpd = ThreadingHTTPServer((host, port), _TelemetryHandler)
-        self._httpd.daemon_threads = True
+        self._httpd = _TelemetryHTTPServer((host, port), _TelemetryHandler)
         self._httpd.telemetry = self
         self._thread: threading.Thread | None = None
 

@@ -158,6 +158,7 @@ def save_sharded(
     db: ShardedDatabase,
     directory: str | os.PathLike,
     overwrite: bool = False,
+    gc_stale: bool = True,
 ) -> Path:
     """Write ``db`` (tables, row assignment, indexes) under ``directory``.
 
@@ -170,6 +171,13 @@ def save_sharded(
     removed — so a crash mid-save always leaves the old state loadable.
     Raises :class:`ShardError` before writing anything if some attached
     index kind cannot be serialized.
+
+    ``gc_stale=False`` leaves previous generation directories on disk after
+    the commit.  The serving layer's :class:`~repro.serve.EpochManager`
+    uses this: readers may still hold a pinned epoch whose engines mmap
+    files in an older generation, so stale generations are garbage-collected
+    only when their pin count drops to zero (orphans stay benign to both
+    ``fsck`` and :func:`load_sharded`).
     """
     root = Path(directory)
     for name in db.index_names:
@@ -245,9 +253,10 @@ def save_sharded(
     # Commit point passed: the new manifest is durable.  Clearing stale
     # generations (and pre-generation shard-* layouts) is best-effort —
     # a crash here leaves orphans that fsck reports and load ignores.
-    for entry in _owned_entries(root):
-        if entry.name != gen_rel:
-            shutil.rmtree(entry, ignore_errors=True)
+    if gc_stale:
+        for entry in _owned_entries(root):
+            if entry.name != gen_rel:
+                shutil.rmtree(entry, ignore_errors=True)
     return manifest_path
 
 
@@ -521,6 +530,7 @@ def load_sharded(
                 kind,
                 index,
                 attributes=index_entry["attributes"],
+                options=index_entry.get("options", {}),
             )
             storage[entry["shard_id"]]["indexes"][index_entry["name"]] = (
                 str(path)
@@ -532,5 +542,6 @@ def load_sharded(
                 index_entry["name"],
                 index_entry["kind"],
                 index_entry["attributes"],
+                options=index_entry.get("options", {}),
             )
     return db

@@ -77,6 +77,10 @@ class _IndexMeta:
 
     kind: str
     attributes: tuple[str, ...]
+    #: Constructor options the index was created with; the serving layer's
+    #: writer path uses these to recreate the same index set on the next
+    #: snapshot.  Empty for indexes attached without recorded options.
+    options: dict = field(default_factory=dict)
 
     def covers(self, query: RangeQuery) -> bool:
         return set(query.attributes) <= set(self.attributes)
@@ -237,6 +241,13 @@ class ShardedDatabase:
         #: the process executor bootstrap workers by memory-mapping files.
         self._storage: dict[int, dict] | None = None
         self._closed = False
+        #: Set by :meth:`freeze` once this database becomes a published
+        #: MVCC snapshot; index DDL then raises instead of mutating state
+        #: readers may have pinned.
+        self._frozen = False
+        #: Epoch number stamped by the serving layer's EpochManager when
+        #: this database is published as a snapshot; None outside serving.
+        self.snapshot_epoch: int | None = None
         self._executor_impl = resolve_executor(executor, parallel)
         self._finalizer = weakref.finalize(
             self, _finalize_executor, self._executor_impl
@@ -332,6 +343,31 @@ class ShardedDatabase:
         if self._closed:
             raise ShardError("this ShardedDatabase has been closed")
 
+    def freeze(self) -> "ShardedDatabase":
+        """Mark this database an immutable snapshot; returns ``self``.
+
+        A frozen database still answers every query (and its caches still
+        fill), but index DDL raises :class:`~repro.errors.ShardError`.
+        The serving layer freezes each database before publishing it as an
+        epoch, so nothing can mutate state a pinned reader depends on —
+        writers build a *new* database and publish that instead.
+        """
+        self._frozen = True
+        return self
+
+    @property
+    def frozen(self) -> bool:
+        """True once :meth:`freeze` has made this a published snapshot."""
+        return self._frozen
+
+    def _ensure_mutable(self) -> None:
+        if self._frozen:
+            raise ShardError(
+                "this ShardedDatabase is a frozen snapshot (published as "
+                f"epoch {self.snapshot_epoch}); build a new snapshot "
+                "instead of mutating it"
+            )
+
     def __enter__(self) -> "ShardedDatabase":
         return self
 
@@ -358,13 +394,15 @@ class ShardedDatabase:
     ) -> None:
         """Build the same index on every shard (same name, kind, options)."""
         self._ensure_open()
+        self._ensure_mutable()
         attached = None
         for shard in self._shards:
             attached = shard.database.create_index(
                 name, kind, attributes, overwrite=overwrite, **options
             )
         self._index_meta[name] = _IndexMeta(
-            kind=attached.kind, attributes=attached.attributes
+            kind=attached.kind, attributes=attached.attributes,
+            options=dict(options),
         )
         self._plan_memo.clear()
         self._index_epoch += 1
@@ -372,6 +410,7 @@ class ShardedDatabase:
     def drop_index(self, name: str) -> None:
         """Detach an index from every shard."""
         self._ensure_open()
+        self._ensure_mutable()
         if name not in self._index_meta:
             raise ReproError(f"no index named {name!r}")
         for shard in self._shards:
@@ -380,10 +419,13 @@ class ShardedDatabase:
         self._plan_memo.clear()
         self._index_epoch += 1
 
-    def _attach_shard_indexes(self, name: str, kind: str, attributes) -> None:
+    def _attach_shard_indexes(
+        self, name: str, kind: str, attributes, options=None
+    ) -> None:
         """Record an index registered shard-by-shard (manifest loader)."""
         self._index_meta[name] = _IndexMeta(
-            kind=kind, attributes=tuple(attributes)
+            kind=kind, attributes=tuple(attributes),
+            options=dict(options or {}),
         )
         self._plan_memo.clear()
         self._index_epoch += 1
@@ -812,6 +854,58 @@ class ShardedDatabase:
         """Materialize the matching rows (global order) as a new table."""
         report = self.execute(query, semantics, using)
         return self._table.take(report.record_ids)
+
+    def query_predicate(
+        self,
+        predicate,
+        semantics: MissingSemantics = MissingSemantics.IS_MATCH,
+        using: str | None = None,
+    ) -> ShardedQueryReport:
+        """Scatter-gather execution of a boolean predicate (AND/OR/NOT).
+
+        Each shard evaluates the predicate against its own row slice (the
+        engine picks a predicate-capable index or falls back to a scan);
+        local ids map back through ``global_ids`` and merge sorted, so the
+        result is bit-identical to the unsharded engine's
+        :meth:`~repro.core.engine.IncompleteDatabase.query_predicate`.
+        Predicates are not planned through the cost model or pruned — a
+        NOT over a pruned-out shard could still match — so every shard
+        executes.
+        """
+        self._ensure_open()
+        start = time.perf_counter_ns()
+        parts = []
+        slices = []
+        names = set()
+        kinds = set()
+        for shard in self._shards:
+            task_start = time.perf_counter_ns()
+            report = shard.database.query_predicate(
+                predicate, semantics, using=using
+            )
+            task_ns = time.perf_counter_ns() - task_start
+            parts.append(shard.to_global(report.record_ids))
+            slices.append(ShardReportSlice(
+                shard.shard_id, False, report.num_matches, task_ns,
+            ))
+            names.add(report.index_name)
+            kinds.add(report.kind)
+        merged = (
+            np.sort(np.concatenate(parts))
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+        elapsed_ns = time.perf_counter_ns() - start
+        if obs.enabled():
+            obs.record("shard.queries")
+            obs.record("shard.fanout_tasks", len(self._shards))
+        return ShardedQueryReport(
+            index_name=names.pop() if len(names) == 1 else "<mixed>",
+            kind=kinds.pop() if len(kinds) == 1 else "mixed",
+            record_ids=merged,
+            per_shard=tuple(slices),
+            elapsed_ns=elapsed_ns,
+        )
 
     def explain(
         self,

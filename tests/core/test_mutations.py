@@ -1,0 +1,231 @@
+"""Engine mutations: append / tombstone delete / compact, and the
+atomicity contract — cache invalidation and generation fences move under
+the same lock that swaps the table, so a reader mid-batch can never see
+a torn mix of two generations."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.engine import IncompleteDatabase
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import QueryError
+from repro.query.model import MissingSemantics
+
+
+def _db(n=200, seed=13):
+    table = generate_uniform_table(
+        n, {"a": 9, "b": 4}, {"a": 0.2, "b": 0.1}, seed=seed
+    )
+    db = IncompleteDatabase(table)
+    db.create_index("ix", "bre")
+    return db
+
+
+class TestAppend:
+    def test_append_mapping_extends_and_rebuilds_indexes(self):
+        db = _db()
+        old = db.execute({"a": (2, 6)}).record_ids
+        generation = db.generation
+        assert db.append({"a": [3, 0], "b": [1, 2]}) == 2
+        assert db.generation == generation + 1
+        assert db.table.num_records == 202
+        report = db.execute({"a": (2, 6)})
+        assert report.index_name == "ix"  # index rebuilt, still chosen
+        assert set(old) <= set(report.record_ids)
+        assert 200 in report.record_ids  # the a=3 row
+        assert 201 in report.record_ids  # a missing: IS_MATCH includes it
+        not_match = db.execute(
+            {"a": (2, 6)}, MissingSemantics.NOT_MATCH
+        ).record_ids
+        assert 201 not in not_match  # ...and NOT_MATCH excludes it
+
+    def test_append_matches_a_from_scratch_build(self):
+        db = _db()
+        db.append({"a": [3, 7, 0], "b": [1, 0, 2]})
+        fresh_cols = {
+            name: np.concatenate(
+                [np.asarray(db.table.column(name))]
+            )
+            for name in ("a", "b")
+        }
+        from repro.dataset.table import IncompleteTable
+
+        fresh = IncompleteDatabase(
+            IncompleteTable(db.table.schema, fresh_cols)
+        )
+        fresh.create_index("ix", "bre")
+        for semantics in MissingSemantics:
+            for bounds in ({"a": (2, 6)}, {"a": (1, 9), "b": (2, 3)}):
+                assert np.array_equal(
+                    db.execute(bounds, semantics).record_ids,
+                    fresh.execute(bounds, semantics).record_ids,
+                )
+
+    def test_append_preserves_index_options(self):
+        db = _db()
+        db.create_index("bbc", "bre", codec="bbc")
+        db.append({"a": [3], "b": [1]})
+        assert db.get_index("bbc").options == {"codec": "bbc"}
+        report = db.execute({"a": (2, 6)}, using="bbc")
+        assert report.index_name == "bbc"
+
+
+class TestDelete:
+    def test_deleted_ids_vanish_from_every_access_path(self):
+        db = _db()
+        victims = [int(i) for i in db.execute({"a": (2, 6)}).record_ids[:3]]
+        assert db.delete(victims) == 3
+        assert db.num_tombstoned == 3
+        # Indexed path and forced-scan path agree: victims are gone.
+        for using in ("ix", None):
+            ids = db.execute({"a": (2, 6)}, using=using).record_ids
+            assert not set(victims) & set(ids)
+        # NOT_MATCH semantics filters them too.
+        ids = db.execute({"a": (1, 9)}, MissingSemantics.NOT_MATCH).record_ids
+        assert not set(victims) & set(ids)
+
+    def test_redelete_is_a_noop_and_range_checked(self):
+        db = _db()
+        assert db.delete([5]) == 1
+        assert db.delete([5]) == 0
+        assert db.delete([]) == 0
+        assert db.num_tombstoned == 1
+        with pytest.raises(QueryError, match=r"\[0, 200\)"):
+            db.delete([200])
+        with pytest.raises(QueryError):
+            db.delete([-1])
+
+    def test_delete_invalidates_the_sub_result_cache(self):
+        db = _db()
+        queries = [{"a": (2, 6)}, {"a": (2, 6)}]
+        db.execute_batch(queries)
+        hits_before = db.sub_result_cache.stats().hits
+        assert hits_before > 0  # the repeated interval actually hit
+        victim = int(db.execute({"a": (2, 6)}).record_ids[0])
+        db.delete([victim])
+        # A stale cache would resurface the victim through the batch path.
+        for report in db.execute_batch(queries):
+            assert victim not in report.record_ids
+
+    def test_generation_bumps_on_every_mutation(self):
+        db = _db()
+        g0 = db.generation
+        db.delete([0])
+        db.append({"a": [1], "b": [1]})
+        db.compact()
+        assert db.generation == g0 + 3
+
+
+class TestCompact:
+    def test_compact_renumbers_densely(self):
+        db = _db()
+        before = db.execute({"a": (2, 6)}).record_ids
+        db.delete([0, 1, 2, 199])
+        kept = db.compact()
+        assert db.num_tombstoned == 0
+        assert db.table.num_records == 196
+        assert np.array_equal(kept, np.setdiff1d(np.arange(200), [0, 1, 2, 199]))
+        # Surviving matches map old id -> position in kept.
+        expected = {
+            int(np.searchsorted(kept, i)) for i in before if i in set(kept)
+        }
+        assert set(map(int, db.execute({"a": (2, 6)}).record_ids)) == expected
+
+    def test_compact_without_tombstones_is_identity(self):
+        db = _db()
+        generation = db.generation
+        kept = db.compact()
+        assert np.array_equal(kept, np.arange(200))
+        assert db.table.num_records == 200
+        assert db.generation == generation  # no swap happened
+
+
+class TestTornGeneration:
+    """Regression: a reader holding the shared lock mid-batch must see one
+    generation end to end; the writer's swap waits for the batch."""
+
+    def test_mid_batch_mutation_cannot_tear_results(self):
+        db = _db(n=400)
+        queries = [{"a": (2, 6)}, {"a": (1, 9), "b": (2, 3)}, {"a": (4, 8)}]
+        expected_old = [
+            [int(i) for i in db.execute(q).record_ids] for q in queries
+        ]
+        victims = [int(i) for i in expected_old[0][:5]]
+
+        batch_entered = threading.Event()
+        original = db._execute_query
+        calls = {"n": 0}
+
+        def slow_execute_query(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                batch_entered.set()
+                time.sleep(0.3)  # give the writer every chance to sneak in
+            return original(*args, **kwargs)
+
+        db._execute_query = slow_execute_query
+
+        results = {}
+        timestamps = {}
+
+        def run_batch():
+            reports = db.execute_batch(queries)
+            timestamps["batch_done"] = time.perf_counter()
+            results["batch"] = [
+                [int(i) for i in r.record_ids] for r in reports
+            ]
+
+        def run_delete():
+            batch_entered.wait(timeout=10)
+            db.delete(victims)
+            timestamps["delete_done"] = time.perf_counter()
+
+        reader = threading.Thread(target=run_batch)
+        writer = threading.Thread(target=run_delete)
+        reader.start()
+        writer.start()
+        reader.join(timeout=30)
+        writer.join(timeout=30)
+        db._execute_query = original
+
+        # The batch saw the pre-delete generation for EVERY member (torn
+        # results would drop victims from later members only), and the
+        # delete could only commit after the batch released the lock.
+        assert results["batch"] == expected_old
+        assert timestamps["delete_done"] >= timestamps["batch_done"]
+        # Post-mutation queries see the new generation.
+        ids = db.execute(queries[0]).record_ids
+        assert not set(victims) & set(map(int, ids))
+
+    def test_concurrent_readers_and_writers_stay_coherent(self):
+        db = _db(n=300)
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                report = db.execute({"a": (1, 9)})
+                ids = np.asarray(report.record_ids)
+                # Ids must be valid for whatever generation answered; the
+                # post-filter guarantees no tombstoned id leaks out.
+                if ids.size and ids.max() >= db.table.num_records + 50:
+                    failures.append(f"id beyond any generation: {ids.max()}")
+
+        def writer():
+            for i in range(10):
+                db.append({"a": [3], "b": [1]})
+                db.delete([i])
+            db.compact()
+            stop.set()
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=writer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not failures
+        assert db.table.num_records == 300  # +10 appended, -10 compacted

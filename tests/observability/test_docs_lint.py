@@ -39,7 +39,7 @@ _LITERAL_RE = re.compile(r"(f?)\"([a-z]+(?:\.[a-z0-9_{}]+)+)\"")
 #: these namespaces is not a metric name.
 _NAMESPACES = (
     "wah", "bbc", "bitmap", "vafile", "cache", "engine", "planner",
-    "shard", "storage", "telemetry", "workload",
+    "shard", "storage", "telemetry", "workload", "serve", "epoch",
 )
 
 #: Span-opening calls: their dotted names are span names (documented in

@@ -132,6 +132,19 @@ class TestLifecycle:
             assert _get(first.url + "/healthz")[0] == 200
             assert _get(second.url + "/healthz")[0] == 200
 
+    def test_reuse_addr_allows_rapid_rebind(self):
+        import socket
+
+        with start_telemetry_server() as server:
+            assert server._httpd.socket.getsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEADDR
+            )
+            port = server.port
+        # Rebinding the same port immediately must not raise EADDRINUSE.
+        with start_telemetry_server(port=port) as again:
+            assert again.port == port
+            assert _get(again.url + "/healthz")[0] == 200
+
 
 class TestConcurrency:
     def test_concurrent_scrapes_while_querying(self, stack):

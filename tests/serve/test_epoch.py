@@ -1,0 +1,152 @@
+"""EpochManager lifecycle: pin, publish, GC, orphan sweep, close."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import ReproError, ShardError
+from repro.serve import EpochManager
+from repro.shard import ShardedDatabase, load_sharded, save_sharded
+
+
+def _table(seed=3, n=120):
+    return generate_uniform_table(
+        n, {"a": 9, "b": 4}, {"a": 0.2, "b": 0.1}, seed=seed
+    )
+
+
+def _db(seed=3, n=120):
+    db = ShardedDatabase(_table(seed, n), num_shards=2)
+    db.create_index("ix", "bre")
+    return db
+
+
+class TestMemoryLifecycle:
+    def test_initial_epoch_is_one_and_frozen(self):
+        db = _db()
+        manager = EpochManager(db)
+        assert manager.current_epoch == 1
+        assert db.frozen
+        assert db.snapshot_epoch == 1
+        with pytest.raises(ShardError, match="frozen"):
+            db.create_index("other", "bee")
+        manager.close()
+
+    def test_pin_tracks_and_releases(self):
+        manager = EpochManager(_db())
+        with manager.pin() as pin:
+            assert pin.epoch == 1
+            assert manager.stats().pinned == 1
+            report = pin.database.execute({"a": (2, 6)})
+            assert report.num_matches >= 0
+        assert manager.stats().pinned == 0
+        manager.close()
+
+    def test_release_is_idempotent(self):
+        manager = EpochManager(_db())
+        pin = manager.pin()
+        pin.release()
+        pin.release()
+        assert manager.stats().pinned == 0
+        manager.close()
+
+    def test_publish_advances_and_gcs_unpinned_previous(self):
+        manager = EpochManager(_db())
+        old = manager.current_database
+        assert manager.publish(_db(seed=4)) == 2
+        stats = manager.stats()
+        assert stats.current_epoch == 2
+        assert stats.published == 1
+        assert stats.gcs == 1  # epoch 1 had no pins -> reclaimed at publish
+        assert stats.retained == 1
+        with pytest.raises(ShardError, match="closed"):
+            old.execute({"a": (1, 3)})
+        manager.close()
+
+    def test_pinned_epoch_survives_publish_until_unpin(self):
+        manager = EpochManager(_db())
+        pin = manager.pin()
+        before = pin.database.execute({"a": (2, 6)}).record_ids
+        manager.publish(_db(seed=4))
+        # The pinned snapshot is still open and still answers identically.
+        assert np.array_equal(
+            pin.database.execute({"a": (2, 6)}).record_ids, before
+        )
+        stats = manager.stats()
+        assert stats.retained == 2 and stats.gcs == 0
+        pin.release()
+        stats = manager.stats()
+        assert stats.retained == 1 and stats.gcs == 1
+        manager.close()
+
+    def test_new_pins_land_on_the_new_epoch(self):
+        manager = EpochManager(_db())
+        old_pin = manager.pin()
+        manager.publish(_db(seed=4))
+        with manager.pin() as new_pin:
+            assert new_pin.epoch == 2
+            assert old_pin.epoch == 1
+            assert new_pin.database is not old_pin.database
+        old_pin.release()
+        manager.close()
+
+    def test_publish_must_advance(self):
+        manager = EpochManager(_db())
+        manager.publish(_db(seed=4), epoch=5)
+        with pytest.raises(ReproError, match="does not advance"):
+            manager.publish(_db(seed=5), epoch=5)
+        with pytest.raises(ReproError, match="does not advance"):
+            manager.publish(_db(seed=5), epoch=3)
+        manager.close()
+
+    def test_closed_manager_rejects_pin_and_publish(self):
+        manager = EpochManager(_db())
+        manager.close()
+        with pytest.raises(ReproError, match="closed"):
+            manager.pin()
+        with pytest.raises(ReproError, match="closed"):
+            manager.publish(_db(seed=4))
+        manager.close()  # idempotent
+
+
+class TestDiskLifecycle:
+    def _saved(self, tmp_path, seed=3):
+        with _db(seed=seed) as db:
+            save_sharded(db, tmp_path)
+        return load_sharded(tmp_path)
+
+    def test_epoch_is_the_committed_generation(self, tmp_path):
+        db = self._saved(tmp_path)
+        manager = EpochManager(db, tmp_path)
+        assert manager.current_epoch == 1
+        assert (tmp_path / "gen-000001").is_dir()
+        manager.close()
+        # The current epoch's files survive close.
+        load_sharded(tmp_path).close()
+
+    def test_orphan_generations_swept_at_startup(self, tmp_path):
+        db = self._saved(tmp_path)
+        orphan = tmp_path / "gen-000999"
+        orphan.mkdir()
+        (orphan / "debris.bin").write_bytes(b"partial publish")
+        manager = EpochManager(db, tmp_path)
+        assert not orphan.exists()
+        assert (tmp_path / "gen-000001").is_dir()
+        manager.close()
+
+    def test_gc_removes_stale_generation_directory(self, tmp_path):
+        db = self._saved(tmp_path)
+        manager = EpochManager(db, tmp_path)
+        with ShardedDatabase(_table(seed=4), num_shards=2) as next_db:
+            next_db.create_index("ix", "bre")
+            save_sharded(next_db, tmp_path, overwrite=True, gc_stale=False)
+        assert (tmp_path / "gen-000001").is_dir()  # gc deferred to manager
+        reloaded = load_sharded(tmp_path)
+        manager.publish(reloaded, gen_dir=tmp_path / "gen-000002", epoch=2)
+        assert not (tmp_path / "gen-000001").exists()
+        assert (tmp_path / "gen-000002").is_dir()
+        manager.close()
+
+    def test_directory_without_manifest_is_an_error(self, tmp_path):
+        with pytest.raises(ReproError, match="committed generation"):
+            EpochManager(_db(), tmp_path)

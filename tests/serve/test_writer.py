@@ -1,0 +1,168 @@
+"""SnapshotWriter: each mutation publishes a correct new epoch."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthetic import generate_uniform_table
+from repro.errors import QueryError, ReproError
+from repro.query.model import MissingSemantics
+from repro.serve import EpochManager, SnapshotWriter
+from repro.shard import ShardedDatabase, load_sharded, save_sharded
+
+
+def _table(seed=5, n=150):
+    return generate_uniform_table(
+        n, {"a": 9, "b": 4}, {"a": 0.2, "b": 0.1}, seed=seed
+    )
+
+
+@pytest.fixture()
+def served():
+    db = ShardedDatabase(_table(), num_shards=2)
+    db.create_index("ix", "bre")
+    manager = EpochManager(db)
+    yield manager, SnapshotWriter(manager)
+    manager.close()
+
+
+class TestMutations:
+    def test_append_extends_with_stable_ids(self, served):
+        manager, writer = served
+        before = manager.current_database
+        n = before.num_records
+        old = before.execute({"a": (2, 6)}).record_ids
+        epoch = writer.append({"a": [3, 4, 0], "b": [1, 2, 3]})
+        assert epoch == 2 and manager.current_epoch == 2
+        db = manager.current_database
+        assert db.num_records == n + 3
+        # Existing ids are unchanged; only new ids may join the result.
+        new = db.execute({"a": (2, 6)}).record_ids
+        assert set(old) <= set(new)
+        assert all(i >= n for i in set(new) - set(old))
+        # Appended rows are queryable, 0 meaning missing.
+        assert n in db.execute({"a": (3, 3), "b": (1, 1)}).record_ids
+        not_match = db.execute(
+            {"a": (1, 9)}, MissingSemantics.NOT_MATCH
+        ).record_ids
+        assert n + 2 not in not_match  # the a=0 row is excluded
+
+    def test_append_table_form(self, served):
+        manager, writer = served
+        writer.append(_table(seed=6, n=10))
+        assert manager.current_database.num_records == 160
+
+    def test_delete_removes_and_renumbers(self, served):
+        manager, writer = served
+        before = manager.current_database
+        values = np.asarray(before.table.column("a"), dtype=np.int64).copy()
+        mask = np.asarray(before.table.missing_mask("a")).copy()
+        writer.delete([0, 5, 149])
+        db = manager.current_database
+        assert db.num_records == 147
+        keep = np.setdiff1d(np.arange(150), [0, 5, 149])
+        after = np.asarray(db.table.column("a"), dtype=np.int64)
+        assert np.array_equal(after, values[keep])
+        assert np.array_equal(
+            np.asarray(db.table.missing_mask("a")), mask[keep]
+        )
+
+    def test_delete_validates_ids(self, served):
+        _, writer = served
+        with pytest.raises(QueryError, match="no record ids"):
+            writer.delete([])
+        with pytest.raises(QueryError, match=r"\[0, 150\)"):
+            writer.delete([150])
+        with pytest.raises(QueryError):
+            writer.delete([-1])
+
+    def test_delete_everything_is_refused(self, served):
+        manager, writer = served
+        with pytest.raises(ReproError, match="empty snapshot"):
+            writer.delete(range(150))
+        assert manager.current_epoch == 1  # nothing published
+
+    def test_compact_republishes_identical_results(self, served):
+        manager, writer = served
+        expected = {
+            semantics: manager.current_database.execute(
+                {"a": (2, 6)}, semantics
+            ).record_ids
+            for semantics in MissingSemantics
+        }
+        assert writer.compact() == 2
+        db = manager.current_database
+        for semantics, exp in expected.items():
+            assert np.array_equal(
+                db.execute({"a": (2, 6)}, semantics).record_ids, exp
+            )
+
+    def test_index_ddl_carries_and_replaces(self, served):
+        manager, writer = served
+        epoch = writer.create_index("bee", "bee", ["a"])
+        assert epoch == 2
+        db = manager.current_database
+        assert sorted(db.index_names) == ["bee", "ix"]
+        with pytest.raises(ReproError, match="already exists"):
+            writer.create_index("bee", "bee", ["a"])
+        writer.create_index("bee", "bee", ["b"], overwrite=True)
+        writer.drop_index("ix")
+        assert manager.current_database.index_names == ["bee"]
+        with pytest.raises(ReproError, match="no index named"):
+            writer.drop_index("ix")
+        # Mutations keep the surviving index working.
+        writer.append({"a": [5], "b": [2]})
+        report = manager.current_database.execute(
+            {"b": (2, 2)}, using="bee"
+        )
+        assert report.index_name == "bee"
+
+    def test_mutations_preserve_index_options(self, served):
+        manager, writer = served
+        writer.create_index("bbc", "bre", codec="bbc")
+        writer.append({"a": [5], "b": [2]})
+        meta = manager.current_database._index_meta["bbc"]
+        assert meta.options == {"codec": "bbc"}
+
+
+class TestDiskBackedWriter:
+    def test_epochs_equal_generations_across_restart(self, tmp_path):
+        with ShardedDatabase(_table(), num_shards=2) as db:
+            db.create_index("ix", "bre")
+            save_sharded(db, tmp_path)
+        manager = EpochManager(load_sharded(tmp_path), tmp_path)
+        writer = SnapshotWriter(manager, tmp_path)
+        assert writer.append({"a": [1], "b": [1]}) == 2
+        assert writer.compact() == 3
+        expected = manager.current_database.execute({"a": (2, 6)}).record_ids
+        manager.close()
+        # Only the committed generation survives; a fresh manager resumes
+        # at epoch 3 and serves the same data.
+        dirs = [c.name for c in tmp_path.iterdir() if c.is_dir()]
+        assert dirs == ["gen-000003"]
+        manager = EpochManager(load_sharded(tmp_path), tmp_path)
+        assert manager.current_epoch == 3
+        assert np.array_equal(
+            manager.current_database.execute({"a": (2, 6)}).record_ids,
+            expected,
+        )
+        writer = SnapshotWriter(manager, tmp_path)
+        assert writer.append({"a": [2], "b": [2]}) == 4
+        manager.close()
+
+    def test_pinned_old_generation_outlives_publish(self, tmp_path):
+        with ShardedDatabase(_table(), num_shards=2) as db:
+            db.create_index("ix", "bre")
+            save_sharded(db, tmp_path)
+        manager = EpochManager(load_sharded(tmp_path), tmp_path)
+        writer = SnapshotWriter(manager, tmp_path)
+        pin = manager.pin()
+        before = pin.database.execute({"a": (2, 6)}).record_ids
+        writer.delete([0, 1, 2])
+        assert (tmp_path / "gen-000001").is_dir()  # still pinned
+        assert np.array_equal(
+            pin.database.execute({"a": (2, 6)}).record_ids, before
+        )
+        pin.release()
+        assert not (tmp_path / "gen-000001").exists()
+        assert (tmp_path / "gen-000002").is_dir()
+        manager.close()
