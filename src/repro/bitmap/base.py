@@ -233,6 +233,57 @@ class BitmapIndex(abc.ABC):
         """
         return self.bitmaps_for_interval(attribute, interval, semantics) >= 2
 
+    def evaluate_interval_both(
+        self,
+        attribute: str,
+        interval: Interval,
+        counter: OpCounter | None = None,
+    ):
+        """One-pass ``(certain, possible)`` bitvector pair for one interval.
+
+        The two bounds differ only in how missing rows are treated, and a
+        missing row is never in any value's range, so the exact identity
+        ``possible = certain OR B_0`` holds for every encoding.  The
+        default derives the pair from a single ``NOT_MATCH`` evaluation
+        plus one OR with the missing bitmap — already roughly half the
+        work of two independent single-semantics evaluations.  Encodings
+        override this where their evaluation structure lets both bounds
+        fall out of one shared sub-expression even more cheaply.
+        """
+        certain = self.evaluate_interval(
+            attribute, interval, MissingSemantics.NOT_MATCH, counter
+        )
+        return certain, self._widen_to_possible(
+            self._family(attribute), certain, counter
+        )
+
+    def _widen_to_possible(self, family, certain, counter: OpCounter | None):
+        """``certain OR B_0`` — the possible bound from the certain one."""
+        if not family.has_missing:
+            return certain
+        record_missing_consultation(MissingSemantics.IS_MATCH)
+        missing = family.bitmap(0)
+        if counter is not None:
+            counter.bitmaps_touched += 1
+            counter.record_binary(certain, missing)
+        return certain | missing
+
+    def _narrow_to_certain(self, family, possible, counter: OpCounter | None):
+        """``possible ANDNOT B_0`` — the certain bound from the possible one.
+
+        Valid because the certain answer never contains a missing row
+        (``certain ∩ B_0 = ∅``) while the possible answer contains all of
+        them, so stripping ``B_0`` recovers certain exactly.
+        """
+        if not family.has_missing:
+            return possible
+        record_missing_consultation(MissingSemantics.NOT_MATCH)
+        missing = family.bitmap(0)
+        if counter is not None:
+            counter.bitmaps_touched += 1
+            counter.record_binary(possible, missing)
+        return possible.andnot(missing)
+
     def evaluate_interval_cached(
         self,
         attribute: str,
@@ -272,6 +323,70 @@ class BitmapIndex(abc.ABC):
         result = self.evaluate_interval(attribute, interval, semantics, counter)
         cache.put(key, result)
         return result
+
+    def evaluate_interval_cached_both(
+        self,
+        attribute: str,
+        interval: Interval,
+        counter: OpCounter | None = None,
+        cache=None,
+        cache_key: tuple = (),
+    ):
+        """Cache-aware front door to :meth:`evaluate_interval_both`.
+
+        The pair shares the *single-semantics* cache entries: each bound is
+        probed and stored under the same key :meth:`evaluate_interval_cached`
+        uses, so a both-mode query warms the cache for later single-bound
+        queries and vice versa.  A partial hit derives the missing bound
+        from the cached one (``possible = certain OR B_0``,
+        ``certain = possible ANDNOT B_0``) instead of re-evaluating.
+        """
+        if cache is None:
+            return self.evaluate_interval_both(attribute, interval, counter)
+        base_key = (
+            *cache_key,
+            self.encoding,
+            self._codec,
+            self._generation,
+            attribute,
+            interval.lo,
+            interval.hi,
+        )
+        certain_key = (*base_key, MissingSemantics.NOT_MATCH.value)
+        possible_key = (*base_key, MissingSemantics.IS_MATCH.value)
+        certain = cache.get(certain_key)
+        possible = cache.get(possible_key)
+        if certain is not None and possible is not None:
+            return certain, possible
+        family = self._family(attribute)
+        if certain is not None:
+            _obs_record("semantics.cache_derived_bounds")
+            possible = self._widen_to_possible(family, certain, counter)
+            if self.interval_cache_worthy(
+                attribute, interval, MissingSemantics.IS_MATCH
+            ):
+                cache.put(possible_key, possible)
+            return certain, possible
+        if possible is not None:
+            _obs_record("semantics.cache_derived_bounds")
+            certain = self._narrow_to_certain(family, possible, counter)
+            if self.interval_cache_worthy(
+                attribute, interval, MissingSemantics.NOT_MATCH
+            ):
+                cache.put(certain_key, certain)
+            return certain, possible
+        certain, possible = self.evaluate_interval_both(
+            attribute, interval, counter
+        )
+        if self.interval_cache_worthy(
+            attribute, interval, MissingSemantics.NOT_MATCH
+        ):
+            cache.put(certain_key, certain)
+        if self.interval_cache_worthy(
+            attribute, interval, MissingSemantics.IS_MATCH
+        ):
+            cache.put(possible_key, possible)
+        return certain, possible
 
     # -- accessors ---------------------------------------------------------
 
@@ -389,6 +504,56 @@ class BitmapIndex(abc.ABC):
             _record_counter_deltas(track, marks)
         return result
 
+    def execute_both(
+        self,
+        query: RangeQuery,
+        counter: OpCounter | None = None,
+        cache=None,
+        cache_key: tuple = (),
+    ):
+        """Answer a query under both bounds; returns ``(certain, possible)``.
+
+        The one-pass counterpart of running :meth:`execute` twice: each
+        attribute's interval pair is evaluated together (shared stored-
+        bitmap work, shared sub-result cache), then the per-attribute pairs
+        are ANDed bound-by-bound and tombstones masked from each result.
+        For a conjunctive query ``certain`` is always a subset of
+        ``possible``.
+        """
+        if not _obs_enabled():
+            certain_parts = []
+            possible_parts = []
+            for name, interval in query.items():
+                certain, possible = self.evaluate_interval_cached_both(
+                    name, interval, counter, cache, cache_key
+                )
+                certain_parts.append(certain)
+                possible_parts.append(possible)
+            certain = self._mask_deleted(big_and(certain_parts, counter), counter)
+            possible = self._mask_deleted(big_and(possible_parts, counter), counter)
+            return certain, possible
+        track = counter if counter is not None else OpCounter()
+        certain_parts = []
+        possible_parts = []
+        for name, interval in query.items():
+            with _trace_span(
+                f"{self.encoding}.interval",
+                attribute=name, interval=str(interval), semantics="both",
+            ):
+                marks = _counter_marks(track)
+                certain, possible = self.evaluate_interval_cached_both(
+                    name, interval, track, cache, cache_key
+                )
+                certain_parts.append(certain)
+                possible_parts.append(possible)
+                _record_counter_deltas(track, marks)
+        with _trace_span("bitmap.and", operands=2 * len(certain_parts)):
+            marks = _counter_marks(track)
+            certain = self._mask_deleted(big_and(certain_parts, track), track)
+            possible = self._mask_deleted(big_and(possible_parts, track), track)
+            _record_counter_deltas(track, marks)
+        return certain, possible
+
     def _mask_deleted(self, result, counter: OpCounter | None):
         if self._deleted is None:
             return result
@@ -479,6 +644,26 @@ class BitmapIndex(abc.ABC):
         """
         return self.execute(query, semantics, counter).count()
 
+    def execute_ids_both(
+        self,
+        query: RangeQuery,
+        counter: OpCounter | None = None,
+        cache=None,
+        cache_key: tuple = (),
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both bounds as sorted id arrays: ``(certain_ids, possible_ids)``."""
+        certain, possible = self.execute_both(query, counter, cache, cache_key)
+        return certain.to_indices(), possible.to_indices()
+
+    def execute_count_both(
+        self,
+        query: RangeQuery,
+        counter: OpCounter | None = None,
+    ) -> tuple[int, int]:
+        """Both bounds' match counts without materializing record ids."""
+        certain, possible = self.execute_both(query, counter)
+        return certain.count(), possible.count()
+
     def execute_predicate_ids(
         self,
         predicate,
@@ -490,6 +675,20 @@ class BitmapIndex(abc.ABC):
 
         result = execute_on_bitmap_index(self, predicate, semantics, counter)
         return self._mask_deleted(result, counter).to_indices()
+
+    def execute_predicate_ids_both(
+        self,
+        predicate,
+        counter: OpCounter | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both bounds of a boolean predicate tree as sorted id arrays."""
+        from repro.query.boolean import execute_on_bitmap_index_both
+
+        certain, possible = execute_on_bitmap_index_both(self, predicate, counter)
+        return (
+            self._mask_deleted(certain, counter).to_indices(),
+            self._mask_deleted(possible, counter).to_indices(),
+        )
 
     # -- appends -----------------------------------------------------------------
 

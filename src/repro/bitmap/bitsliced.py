@@ -158,6 +158,44 @@ class BitSlicedIndex(BitmapIndex):
                     result = result | missing
         return result
 
+    def evaluate_interval_both(
+        self,
+        attribute: str,
+        interval: Interval,
+        counter: OpCounter | None = None,
+    ):
+        """Both bounds sharing the bit-serial ``LE`` comparisons.
+
+        The ``O(lg C)`` slice arithmetic — the expensive part of this
+        encoding — runs once per scenario; the second bound is a single
+        missing-bitmap adjustment, mirroring the BRE derivation.
+        """
+        self._check_interval(attribute, interval)
+        family = self._family(attribute)
+        cardinality = family.cardinality
+        v1, v2 = interval.lo, interval.hi
+
+        if v1 == 1:
+            # LE(v2) treats missing as the smallest value, so it already
+            # contains the missing rows: the possible bound as computed.
+            possible = self._less_equal(family, v2, counter)
+            return (
+                self._narrow_to_certain(family, possible, counter),
+                possible,
+            )
+        if v2 == cardinality:
+            below = self._less_equal(family, v1 - 1, counter)
+            if counter is not None:
+                counter.record_not(below)
+            certain = ~below
+        else:
+            low = self._less_equal(family, v1 - 1, counter)
+            high = self._less_equal(family, v2, counter)
+            if counter is not None:
+                counter.record_binary(high, low)
+            certain = high ^ low
+        return certain, self._widen_to_possible(family, certain, counter)
+
     def interval_cache_worthy(
         self,
         attribute: str,

@@ -90,6 +90,37 @@ class EqualityEncodedBitmapIndex(BitmapIndex):
                 result = constant_vector(family, True)
         return result
 
+    def evaluate_interval_both(
+        self,
+        attribute: str,
+        interval: Interval,
+        counter: OpCounter | None = None,
+    ):
+        """Both bounds from one branch evaluation.
+
+        The direct branch's value union is the certain bound (missing rows
+        sit in no value bitmap); the complement branch's plain complement
+        is the possible bound (missing rows carry 0 in every value bitmap,
+        so the NOT sets them).  Either way the other bound is one missing-
+        bitmap adjustment — the Figure 2 union runs once, not twice.
+        """
+        self._check_interval(attribute, interval)
+        family = self._family(attribute)
+        v1, v2 = interval.lo, interval.hi
+        if (v2 - v1) <= family.cardinality // 2:
+            operands = [family.bitmap(j) for j in range(v1, v2 + 1)]
+            certain = big_or(operands, counter)
+            return certain, self._widen_to_possible(family, certain, counter)
+        outside = self._outside_bitmaps(family, v1, v2)
+        if outside:
+            unioned = big_or(outside, counter)
+            if counter is not None:
+                counter.record_not(unioned)
+            possible = ~unioned
+        else:
+            possible = constant_vector(family, True)
+        return self._narrow_to_certain(family, possible, counter), possible
+
     def interval_cache_worthy(
         self,
         attribute: str,

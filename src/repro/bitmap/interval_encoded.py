@@ -107,6 +107,29 @@ class IntervalEncodedBitmapIndex(BitmapIndex):
             result = result.andnot(missing)
         return result
 
+    def evaluate_interval_both(
+        self,
+        attribute: str,
+        interval: Interval,
+        counter: OpCounter | None = None,
+    ):
+        """Both bounds from one window combination.
+
+        ``_evaluate_windows`` runs once; ``includes_missing`` tells which
+        bound the raw vector already is, and the other is one missing-
+        bitmap adjustment away.
+        """
+        self._check_interval(attribute, interval)
+        family = self._family(attribute)
+        result, includes_missing = self._evaluate_windows(
+            family, interval.lo, interval.hi, counter
+        )
+        if not family.has_missing:
+            return result, result
+        if includes_missing:
+            return self._narrow_to_certain(family, result, counter), result
+        return result, self._widen_to_possible(family, result, counter)
+
     def interval_cache_worthy(
         self,
         attribute: str,

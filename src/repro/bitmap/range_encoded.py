@@ -129,6 +129,45 @@ class RangeEncodedBitmapIndex(BitmapIndex):
                     result = result | missing
         return result
 
+    def evaluate_interval_both(
+        self,
+        attribute: str,
+        interval: Interval,
+        counter: OpCounter | None = None,
+    ):
+        """Both bounds from one Figure 3 scenario evaluation.
+
+        Each scenario's raw expression already *is* one of the two bounds
+        (``B_{v2}`` includes the all-ones missing rows, the complement and
+        XOR forms exclude them), so the other bound is a single missing-
+        bitmap adjustment on top of the shared cumulative reads.
+        """
+        self._check_interval(attribute, interval)
+        family = self._family(attribute)
+        cardinality = family.cardinality
+        v1, v2 = interval.lo, interval.hi
+
+        if v1 == 1:
+            # B_{v2} holds values <= v2 plus the missing rows: it is the
+            # possible bound as stored.
+            possible = self._cumulative(family, v2, counter)
+            return (
+                self._narrow_to_certain(family, possible, counter),
+                possible,
+            )
+        if v2 == cardinality:
+            below = self._cumulative(family, v1 - 1, counter)
+            if counter is not None:
+                counter.record_not(below)
+            certain = ~below
+        else:
+            low = self._cumulative(family, v1 - 1, counter)
+            high = self._cumulative(family, v2, counter)
+            if counter is not None:
+                counter.record_binary(high, low)
+            certain = high ^ low
+        return certain, self._widen_to_possible(family, certain, counter)
+
     def interval_cache_worthy(
         self,
         attribute: str,

@@ -41,7 +41,13 @@ from repro.core.sync import ReadWriteLock
 from repro.dataset.schema import AttributeSpec, Schema
 from repro.dataset.table import IncompleteTable, concat_tables
 from repro.errors import QueryError, ReproError
-from repro.query.model import MissingSemantics, RangeQuery
+from repro.query.model import (
+    BOTH,
+    MissingSemantics,
+    RangeQuery,
+    ThreeValued,
+    resolve_semantics,
+)
 from repro.vafile.vafile import VAFile
 
 #: Index kind -> builder.  Builders take (table, attributes, **options).
@@ -116,6 +122,112 @@ class QueryReport:
     def num_matches(self) -> int:
         """Number of matching records."""
         return len(self.record_ids)
+
+
+@dataclass
+class ThreeValuedReport:
+    """Outcome of one both-bounds (three-valued) query execution.
+
+    ``certain_ids`` are rows that match no matter what the missing values
+    turn out to be; ``possible_ids`` additionally include every row some
+    completion of the missing values would admit.  For conjunctive range
+    queries ``certain_ids`` is always a subset of ``possible_ids``.
+    """
+
+    index_name: str
+    kind: str
+    certain_ids: np.ndarray = field(repr=False)
+    possible_ids: np.ndarray = field(repr=False)
+    trace: obs.QueryTrace | None = field(default=None, repr=False)
+    elapsed_ns: int | None = None
+
+    @property
+    def num_certain(self) -> int:
+        """Number of certain matches."""
+        return len(self.certain_ids)
+
+    @property
+    def num_possible(self) -> int:
+        """Number of possible matches."""
+        return len(self.possible_ids)
+
+    @property
+    def possible_only_ids(self) -> np.ndarray:
+        """Rows that are possible but not certain matches."""
+        return np.setdiff1d(self.possible_ids, self.certain_ids)
+
+
+@dataclass
+class RankedReport:
+    """Outcome of a probabilistic (ranked) query execution.
+
+    Certain matches carry probability 1.0; each possible-but-not-certain
+    row's probability is the chance an imputation of its missing values —
+    drawn from the attribute's observed value distribution — satisfies the
+    query.  Rows are ordered by descending probability.
+    """
+
+    index_name: str
+    kind: str
+    record_ids: np.ndarray = field(repr=False)
+    probabilities: np.ndarray = field(repr=False)
+    #: How many of the ranked rows are certain matches (probability 1.0).
+    num_certain: int = 0
+
+    @property
+    def num_matches(self) -> int:
+        """Number of ranked rows returned."""
+        return len(self.record_ids)
+
+
+def rank_both_bounds(
+    table: IncompleteTable,
+    statistics,
+    query: RangeQuery,
+    certain_ids,
+    possible_ids,
+    threshold: float = 0.0,
+    limit: int | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Turn a (certain, possible) answer pair into a ranked answer.
+
+    Shared by the engine's and the sharded database's ``execute_ranked``:
+    certain rows score 1.0; each possible-only row scores the product, over
+    the query attributes where it is missing, of the chance an imputation
+    from the attribute's observed value distribution lands in the interval
+    (attribute-independent, the paper's GS assumption).  Returns
+    ``(record_ids, probabilities, num_certain)`` with certain rows first
+    (id order) and scored rows by descending probability, thresholded and
+    capped.
+    """
+    if not 0.0 <= threshold <= 1.0:
+        raise QueryError(f"threshold must be within [0, 1], got {threshold}")
+    if limit is not None and limit < 0:
+        raise QueryError(f"limit must be >= 0, got {limit}")
+    certain = np.asarray(certain_ids, dtype=np.int64)
+    maybe = np.setdiff1d(np.asarray(possible_ids, dtype=np.int64), certain)
+    probs = np.ones(len(maybe), dtype=float)
+    for name, interval in query.items():
+        column = table.column(name)[maybe]
+        attr_prob = statistics.attribute(name).present_interval_probability(
+            interval
+        )
+        probs *= np.where(column == 0, attr_prob, 1.0)
+    keep = probs >= threshold
+    maybe, probs = maybe[keep], probs[keep]
+    # Certain rows first (probability 1.0, id order), then the scored rows
+    # by descending probability with id as the tiebreak.
+    order = np.lexsort((maybe, -probs))
+    ids = np.concatenate([certain, maybe[order]])
+    probabilities = np.concatenate(
+        [np.ones(len(certain), dtype=float), probs[order]]
+    )
+    num_certain = len(certain)
+    if limit is not None:
+        ids = ids[:limit]
+        probabilities = probabilities[:limit]
+        num_certain = min(num_certain, limit)
+    return ids, probabilities, num_certain
 
 
 class IncompleteDatabase:
@@ -537,27 +649,45 @@ class IncompleteDatabase:
         on) and the rendered span tree — timings plus the counters each
         access method recorded — is appended to the plan, in the spirit of
         ``EXPLAIN ANALYZE``.
-        """
-        from repro.core.planner import rank_plans
 
-        chosen = self.choose_index(query, semantics)
+        ``semantics="both"`` explains the one-pass pair execution: costing
+        runs under the possible bound (which dominates the pair's work)
+        and the single chosen plan serves both bounds.
+        """
+        from repro.core.planner import rank_plans, semantics_for_costing
+
+        semantics = resolve_semantics(semantics)
+        costing = semantics_for_costing(semantics)
+        chosen = self.choose_index(query, costing)
         lines = [
             f"query: {query!r}",
             f"semantics: {semantics.value}",
-            f"estimated matches: {self.estimate_count(query, semantics)}",
         ]
+        if semantics is BOTH:
+            lines.append(
+                f"estimated matches: {self.estimate_count(query, MissingSemantics.NOT_MATCH)}"
+                f" certain .. {self.estimate_count(query, MissingSemantics.IS_MATCH)}"
+                " possible"
+            )
+            lines.append(
+                "bounds: one plan, costed under is_match (superset bound)"
+            )
+        else:
+            lines.append(
+                f"estimated matches: {self.estimate_count(query, semantics)}"
+            )
         if chosen is None:
             lines.append("plan: sequential scan (no covering index)")
         else:
             lines.append(f"plan: index {chosen.name!r} ({chosen.kind})")
             if chosen.kind in ("bee", "bre", "bie", "bsl"):
                 total = sum(
-                    chosen.index.bitmaps_for_interval(name, interval, semantics)
+                    chosen.index.bitmaps_for_interval(name, interval, costing)
                     for name, interval in query.items()
                 )
                 lines.append(f"bitvectors used: {total}")
             covering = [ix for ix in self._indexes.values() if ix.covers(query)]
-            plans = rank_plans(covering, query, semantics)
+            plans = rank_plans(covering, query, costing)
             for plan in plans:
                 marker = "->" if plan.index_name == chosen.name else "  "
                 lines.append(
@@ -586,7 +716,11 @@ class IncompleteDatabase:
         query:
             A :class:`RangeQuery`, or ``{attribute: (lo, hi)}`` bounds.
         semantics:
-            Missing-data semantics to apply.
+            Missing-data semantics to apply: a
+            :class:`~repro.query.model.MissingSemantics`, its string value,
+            or ``"both"`` / :data:`~repro.query.model.BOTH` to compute the
+            ``(certain, possible)`` pair in one pass — in which case a
+            :class:`ThreeValuedReport` is returned instead.
         using:
             Force a specific attached index by name; defaults to automatic
             selection with sequential-scan fallback.
@@ -599,7 +733,10 @@ class IncompleteDatabase:
         """
         if not isinstance(query, RangeQuery):
             query = RangeQuery.from_bounds(query)
+        semantics = resolve_semantics(semantics)
         with self._rwlock.read():
+            if semantics is BOTH:
+                return self._execute_query_both(query, using, trace)
             return self._execute_query(query, semantics, using, trace)
 
     def _execute_query(
@@ -740,6 +877,149 @@ class IncompleteDatabase:
             elapsed_ns=elapsed_ns,
         )
 
+    def _execute_query_both(
+        self,
+        query: RangeQuery,
+        using: str | None,
+        trace: bool,
+        cache: SubResultCache | None = None,
+        shared_masks: dict | None = None,
+        planned: tuple | None = None,
+        recorded: bool = True,
+    ) -> ThreeValuedReport:
+        """One-pass both-bounds path behind :meth:`execute` with ``BOTH``.
+
+        Mirrors :meth:`_execute_query`: one plan (costed under the
+        possible bound, which dominates the pair's work — see
+        :func:`repro.core.planner.semantics_for_costing`) serves both
+        bounds, and access methods with a native pair evaluation
+        (``execute_ids_both``) share all per-interval work between them.
+        Index kinds without one fall back to two single-bound runs on the
+        same chosen index, so ``using=`` is always honored.
+        """
+        from repro.core.planner import semantics_for_costing
+        from repro.query.ground_truth import evaluate_mask_both
+
+        costing = semantics_for_costing(BOTH)
+        recorder = obs.get_recorder()
+        recording = recorded and recorder.active
+        qtrace = (
+            obs.QueryTrace("query", query=repr(query), semantics="both")
+            if trace or (recording and recorder.wants_trace)
+            else None
+        )
+        context = obs.activate(qtrace) if qtrace is not None else nullcontext()
+        with context:
+            observing = obs.enabled()
+            with obs.trace_span("plan") as plan_span:
+                estimate = None
+                if planned is not None:
+                    chosen, estimate, forced = planned
+                elif using is not None:
+                    chosen = self.get_index(using)
+                    if not chosen.covers(query):
+                        raise QueryError(
+                            f"index {using!r} does not cover attributes "
+                            f"{sorted(set(query.attributes) - set(chosen.attributes))}"
+                        )
+                    forced = True
+                else:
+                    chosen, plans = self._plan(query, costing)
+                    forced = False
+                    if chosen is not None:
+                        estimate = next(
+                            (p for p in plans if p.index_name == chosen.name),
+                            None,
+                        )
+                if plan_span is not None:
+                    plan_span.set("chosen", chosen.name if chosen else "<scan>")
+                    plan_span.set("forced", forced)
+                    plan_span.set("semantics", "both")
+                    if estimate is not None:
+                        plan_span.set("estimated_items", round(estimate.items))
+            name = chosen.name if chosen is not None else "<scan>"
+            kind = chosen.kind if chosen is not None else "scan"
+            track = None
+            start = time.perf_counter_ns()
+            if chosen is None:
+                with obs.trace_span("execute.scan", semantics="both"):
+                    certain_mask, possible_mask = evaluate_mask_both(
+                        self._table, query
+                    )
+                    certain = np.flatnonzero(certain_mask)
+                    possible = np.flatnonzero(possible_mask)
+            else:
+                with obs.trace_span(f"execute.{kind}", index=name):
+                    index = chosen.index
+                    if hasattr(index, "execute_ids_both"):
+                        kwargs = {}
+                        if isinstance(index, BitmapIndex):
+                            if cache is not None:
+                                kwargs["cache"] = cache
+                                kwargs["cache_key"] = (chosen.name,)
+                        elif isinstance(index, VAFile):
+                            if shared_masks is not None:
+                                kwargs["shared_masks"] = shared_masks
+                        if observing and isinstance(index, (BitmapIndex, VAFile)):
+                            track = OpCounter()
+                            kwargs["counter"] = track
+                        certain, possible = index.execute_ids_both(
+                            query, **kwargs
+                        )
+                    else:
+                        # Two single-bound runs on the same index: correct
+                        # for every access method, just without the shared
+                        # per-interval work.
+                        certain = index.execute_ids(
+                            query, MissingSemantics.NOT_MATCH
+                        )
+                        possible = index.execute_ids(
+                            query, MissingSemantics.IS_MATCH
+                        )
+                    certain = np.asarray(certain)
+                    possible = np.asarray(possible)
+            if self._tombstones is not None:
+                certain = certain[~self._tombstones[certain]]
+                possible = possible[~self._tombstones[possible]]
+            elapsed_ns = time.perf_counter_ns() - start
+            with self._counts_lock:
+                self._query_counts[name] = self._query_counts.get(name, 0) + 1
+            if observing:
+                obs.record("engine.queries")
+                obs.record(f"engine.queries.{kind}")
+                obs.observe(f"engine.query_ns.{kind}", elapsed_ns)
+                obs.record(f"planner.plan_chosen.{kind}")
+                obs.record("semantics.both_queries")
+                obs.record(
+                    "semantics.possible_only_rows",
+                    len(possible) - len(certain),
+                )
+        if qtrace is not None:
+            qtrace.root.set("index", name)
+            qtrace.root.set("certain", len(certain))
+            qtrace.root.set("possible", len(possible))
+            qtrace.close()
+        if recording:
+            recorder.record_query(
+                source="engine",
+                batch=planned is not None,
+                query=query,
+                semantics=BOTH,
+                index=name,
+                kind=kind,
+                matches=len(possible),
+                elapsed_ns=elapsed_ns,
+                trace=qtrace,
+            )
+        return ThreeValuedReport(
+            index_name=name,
+            kind=kind,
+            certain_ids=certain,
+            possible_ids=possible,
+            trace=qtrace if trace else None,
+            elapsed_ns=elapsed_ns,
+        )
+
     def execute_batch(
         self,
         queries: Sequence[RangeQuery | Mapping[str, tuple[int, int]]],
@@ -789,12 +1069,16 @@ class IncompleteDatabase:
             Thread-pool size cap when ``parallel=True``; must be at least 1
             when given.
         """
+        from repro.core.planner import semantics_for_costing
+
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         normalized = [
             q if isinstance(q, RangeQuery) else RangeQuery.from_bounds(q)
             for q in queries
         ]
+        semantics = resolve_semantics(semantics)
+        costing = semantics_for_costing(semantics)
         if cache is True:
             sub_cache = self._cache
         elif cache is False or cache is None:
@@ -815,7 +1099,7 @@ class IncompleteDatabase:
                         )
                     planned.append((chosen, None, True))
                 else:
-                    chosen, plans = self._plan(query, semantics)
+                    chosen, plans = self._plan(query, costing)
                     estimate = None
                     if chosen is not None:
                         estimate = next(
@@ -865,16 +1149,27 @@ class IncompleteDatabase:
             # simply never read it.
             shared_masks: dict = {}
             for pos in group.positions:
-                reports[pos] = self._execute_query(
-                    normalized[pos],
-                    semantics,
-                    using=None,
-                    trace=trace,
-                    cache=sub_cache,
-                    shared_masks=shared_masks,
-                    planned=planned[pos],
-                    recorded=recorded,
-                )
+                if semantics is BOTH:
+                    reports[pos] = self._execute_query_both(
+                        normalized[pos],
+                        using=None,
+                        trace=trace,
+                        cache=sub_cache,
+                        shared_masks=shared_masks,
+                        planned=planned[pos],
+                        recorded=recorded,
+                    )
+                else:
+                    reports[pos] = self._execute_query(
+                        normalized[pos],
+                        semantics,
+                        using=None,
+                        trace=trace,
+                        cache=sub_cache,
+                        shared_masks=shared_masks,
+                        planned=planned[pos],
+                        recorded=recorded,
+                    )
 
         if max_workers is not None and max_workers < 1:
             # `max_workers or default` used to swallow 0 here and silently
@@ -908,9 +1203,56 @@ class IncompleteDatabase:
         query: RangeQuery | Mapping[str, tuple[int, int]],
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         using: str | None = None,
-    ) -> int:
-        """Number of records matching a query."""
-        return self.query(query, semantics, using).num_matches
+    ):
+        """Number of records matching a query.
+
+        With ``semantics="both"`` returns the ``(certain, possible)``
+        count pair instead of a single int.
+        """
+        report = self.query(query, semantics, using)
+        if isinstance(report, ThreeValuedReport):
+            return report.num_certain, report.num_possible
+        return report.num_matches
+
+    def execute_ranked(
+        self,
+        query: RangeQuery | Mapping[str, tuple[int, int]],
+        threshold: float = 0.0,
+        limit: int | None = None,
+        using: str | None = None,
+    ) -> RankedReport:
+        """Probabilistic answers: possible matches ranked by match chance.
+
+        Runs the one-pass both-bounds execution, then scores every
+        possible-but-not-certain row with the probability that imputing its
+        missing values from the attribute's observed value distribution
+        (``dataset.stats`` histograms, attribute-independent — the same
+        assumption the paper's GS formula makes) satisfies the query;
+        certain rows score 1.0.  Rows are returned by descending
+        probability (ties by record id), filtered to ``probability >=
+        threshold`` and capped at ``limit`` when given.
+        """
+        if not isinstance(query, RangeQuery):
+            query = RangeQuery.from_bounds(query)
+        report = self.execute(query, BOTH, using)
+        ids, probabilities, num_certain = rank_both_bounds(
+            self._table,
+            self.statistics,
+            query,
+            report.certain_ids,
+            report.possible_ids,
+            threshold,
+            limit,
+        )
+        if obs.enabled():
+            obs.record("semantics.ranked_queries")
+        return RankedReport(
+            index_name=report.index_name,
+            kind=report.kind,
+            record_ids=ids,
+            probabilities=probabilities,
+            num_certain=num_certain,
+        )
 
     def query_predicate(
         self,
@@ -921,14 +1263,22 @@ class IncompleteDatabase:
         """Execute an arbitrary boolean predicate (AND/OR/NOT of atoms).
 
         Bitmap indexes and VA-files evaluate predicate trees natively; the
-        other access methods fall back to a ground-truth scan.
+        other access methods fall back to a ground-truth scan.  With
+        ``semantics="both"`` the tree is evaluated three-valued in one pass
+        (NOT swaps the bounds) and a :class:`ThreeValuedReport` comes back.
         """
-        from repro.query.boolean import Predicate, evaluate_predicate
+        from repro.query.boolean import (
+            Predicate,
+            evaluate_predicate,
+            evaluate_predicate_both,
+        )
 
         if not isinstance(predicate, Predicate):
             raise QueryError(
                 f"expected a Predicate, got {type(predicate).__name__}"
             )
+        semantics = resolve_semantics(semantics)
+        both = semantics is BOTH
         attrs = predicate.attributes()
         with self._rwlock.read():
             if using is not None:
@@ -951,6 +1301,32 @@ class IncompleteDatabase:
                     chosen = min(
                         covering, key=lambda ix: rank.get(ix.kind, len(rank))
                     )
+            if both:
+                if chosen is None or not hasattr(
+                    chosen.index, "execute_predicate_ids_both"
+                ):
+                    certain, possible = evaluate_predicate_both(
+                        self._table, predicate
+                    )
+                    name, kind = "<scan>", "scan"
+                else:
+                    certain, possible = (
+                        chosen.index.execute_predicate_ids_both(predicate)
+                    )
+                    name, kind = chosen.name, chosen.kind
+                certain = np.asarray(certain)
+                possible = np.asarray(possible)
+                if self._tombstones is not None:
+                    certain = certain[~self._tombstones[certain]]
+                    possible = possible[~self._tombstones[possible]]
+                if obs.enabled():
+                    obs.record("semantics.both_predicates")
+                return ThreeValuedReport(
+                    index_name=name,
+                    kind=kind,
+                    certain_ids=certain,
+                    possible_ids=possible,
+                )
             if chosen is None or not hasattr(
                 chosen.index, "execute_predicate_ids"
             ):
@@ -970,7 +1346,17 @@ class IncompleteDatabase:
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         using: str | None = None,
     ) -> IncompleteTable:
-        """Materialize the matching rows as a new table."""
+        """Materialize the matching rows as a new table.
+
+        Requires a single semantics: a both-bounds answer is two row sets,
+        so there is no one table to materialize — fetch the bound you want.
+        """
+        semantics = resolve_semantics(semantics)
+        if semantics is BOTH:
+            raise QueryError(
+                "fetch needs a single semantics ('is_match' or 'not_match'); "
+                "a both-bounds answer has two row sets"
+            )
         with self._rwlock.read():
             report = self.query(query, semantics, using)
             return self._table.take(report.record_ids)

@@ -110,6 +110,20 @@ def estimate_vafile_cost(
     )
 
 
+def semantics_for_costing(semantics) -> MissingSemantics:
+    """The single semantics to cost a plan under.
+
+    A both-mode execution computes its pair in one pass whose work is
+    essentially the possible bound's (the certain bound is one missing-
+    bitmap adjustment away), so :data:`~repro.query.model.BOTH` is costed
+    as ``IS_MATCH`` — the superset bound — and one plan serves both
+    bounds.  Single-semantics requests cost as themselves.
+    """
+    if isinstance(semantics, MissingSemantics):
+        return semantics
+    return MissingSemantics.IS_MATCH
+
+
 def estimate_cost(
     attached,
     query: RangeQuery,

@@ -77,6 +77,28 @@ class AttributeStatistics:
             probability += self.missing_probability
         return probability
 
+    def present_interval_probability(self, interval: Interval) -> float:
+        """``P[lo <= value <= hi | value present]``.
+
+        The conditional the probabilistic ranking mode needs: for a row
+        whose value on this attribute is *missing*, the histogram of the
+        attribute's present values is the natural missing-value
+        distribution, and this is the chance an imputed value would land
+        inside the interval.  Falls back to the unconditional uniform
+        chance ``width / C`` when every record is missing (no observed
+        distribution to condition on).
+        """
+        if interval.hi > self.cardinality:
+            raise DomainError(
+                f"interval {interval} exceeds domain 1..{self.cardinality} "
+                f"of attribute {self.name!r}"
+            )
+        present = int(self.counts[1:].sum())
+        if present == 0:
+            return interval.width / self.cardinality
+        in_range = int(self.counts[interval.lo : interval.hi + 1].sum())
+        return in_range / present
+
     def most_frequent_value(self) -> int | None:
         """The most common present value, or None if all records are missing."""
         if len(self.counts) <= 1 or self.counts[1:].sum() == 0:

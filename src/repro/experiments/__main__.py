@@ -37,6 +37,7 @@ from repro.experiments.fig1 import run_fig1
 from repro.experiments.fig4 import run_fig4a, run_fig4b, run_fig4_batch
 from repro.experiments.fig4_sharded import run_fig4_sharded
 from repro.experiments.fig5 import run_fig5a, run_fig5b, run_fig5c
+from repro.experiments.fig_semantics import run_fig_semantics
 from repro.experiments.realdata import run_real_compression, run_real_query_time
 
 _SCALES = {
@@ -68,6 +69,9 @@ def _experiments(scale: dict) -> dict[str, Callable[[], object]]:
             num_records=scale["records"], num_queries=scale["queries"]
         ),
         "fig5c": lambda: run_fig5c(
+            num_records=scale["records"], num_queries=scale["queries"]
+        ),
+        "fig-semantics": lambda: run_fig_semantics(
             num_records=scale["records"], num_queries=scale["queries"]
         ),
         "real-compression": lambda: run_real_compression(

@@ -177,12 +177,22 @@ def bench_serve_concurrency(scale: dict) -> dict:
     return _result_as_dict(result)
 
 
+def bench_semantics(scale: dict) -> dict:
+    from repro.experiments.fig_semantics import run_fig_semantics
+
+    result = run_fig_semantics(
+        num_records=scale["records"], num_queries=scale["queries"]
+    )
+    return _result_as_dict(result)
+
+
 _SUITES: dict[str, Callable[[dict, int], dict]] = {
     "micro_ops": lambda scale, repeats: bench_micro_ops(repeats),
     "fig5_latency": lambda scale, repeats: bench_fig5_latency(scale),
     "batch_hit_rate": lambda scale, repeats: bench_batch_hit_rate(scale),
     "sharded_scaling": lambda scale, repeats: bench_sharded_scaling(scale),
     "serve_concurrency": lambda scale, repeats: bench_serve_concurrency(scale),
+    "semantics": lambda scale, repeats: bench_semantics(scale),
 }
 
 

@@ -1,0 +1,174 @@
+"""Three-valued semantics: answer-set bracketing and one-pass cost.
+
+The certain/possible answer pair (see ``docs/semantics.md``) makes two
+measurable claims this experiment pins per access method:
+
+* **Bracketing.**  For every workload, the certain answer is contained in
+  the classic two-valued answer over *any* completion of the missing
+  values, which in turn is contained in the possible answer.  We draw one
+  seeded completion per run (each missing value imputed from its
+  attribute's observed value distribution) and count all three answer
+  sets.
+* **One-pass advantage.**  Asking for ``semantics="both"`` computes the
+  pair in a single pass — the second bound is one missing-bitmap
+  adjustment (bitmaps) or piggybacks on the same approximation scan
+  (VA-file) — so it should beat running the two corrected
+  single-semantics executions back to back.  ``one_pass_speedup`` is that
+  ratio (>1 means the one-pass win is real); it is regression-guarded by
+  the bench harness.
+
+``certain_subset_identical`` is a correctness bit, also guarded: 1 only if
+every query's pair equals the two single-semantics runs exactly and the
+bracketing held.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bitmap.bitsliced import BitSlicedIndex
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitmap.interval_encoded import IntervalEncodedBitmapIndex
+from repro.bitmap.range_encoded import RangeEncodedBitmapIndex
+from repro.dataset.synthetic import generate_uniform_table
+from repro.experiments.harness import ExperimentResult, time_queries
+from repro.query.model import MissingSemantics, RangeQuery
+from repro.query.workload import WorkloadGenerator
+from repro.vafile.vafile import VAFile
+
+_COLUMNS = [
+    "certain_rows",
+    "classic_rows",
+    "possible_rows",
+    "two_pass_ms",
+    "both_ms",
+    "one_pass_speedup",
+    "certain_subset_identical",
+]
+
+_ENCODINGS = ["bee", "bre", "bie", "bsl", "vafile"]
+
+
+def _build(encoding: str, table, names):
+    if encoding == "bee":
+        return EqualityEncodedBitmapIndex(table, names, codec="wah")
+    if encoding == "bre":
+        return RangeEncodedBitmapIndex(table, names, codec="wah")
+    if encoding == "bie":
+        return IntervalEncodedBitmapIndex(table, names, codec="wah")
+    if encoding == "bsl":
+        return BitSlicedIndex(table, names, codec="wah")
+    return VAFile(table, names)
+
+
+def _complete_columns(table, names, seed: int) -> dict[str, np.ndarray]:
+    """One seeded completion: impute each missing value from the observed
+    distribution of its own attribute (present values only)."""
+    rng = np.random.default_rng(seed)
+    completed = {}
+    for name in names:
+        column = table.column(name)
+        missing = column == 0
+        present = column[~missing]
+        imputed = rng.choice(present, size=len(column))
+        completed[name] = np.where(missing, imputed, column)
+    return completed
+
+
+def _classic_count(completed: dict[str, np.ndarray], query: RangeQuery) -> int:
+    mask = None
+    for name, interval in query.items():
+        column = completed[name]
+        in_range = (column >= interval.lo) & (column <= interval.hi)
+        mask = in_range if mask is None else (mask & in_range)
+    return int(np.count_nonzero(mask))
+
+
+def run_fig_semantics(
+    num_records: int = 30_000,
+    num_queries: int = 50,
+    cardinality: int = 10,
+    missing_pct: int = 20,
+    dimensionality: int = 4,
+    global_selectivity: float = 0.02,
+    repeats: int = 3,
+    seed: int = 60,
+) -> ExperimentResult:
+    """Certain/classic/possible sizes and one-pass vs two-pass latency."""
+    names = [f"q{i}" for i in range(dimensionality)]
+    table = generate_uniform_table(
+        num_records,
+        {name: cardinality for name in names},
+        {name: missing_pct / 100.0 for name in names},
+        seed=seed,
+    )
+    workload = WorkloadGenerator(table, seed=seed + 1)
+    queries = workload.workload(
+        names, global_selectivity, num_queries, MissingSemantics.IS_MATCH
+    )
+    completed = _complete_columns(table, names, seed + 2)
+
+    result = ExperimentResult(
+        title=(
+            f"fig-semantics - certain/classic/possible bracketing and "
+            f"one-pass both-bounds cost (n={num_records}, "
+            f"C={cardinality}, {missing_pct}% missing, k={dimensionality}, "
+            f"{num_queries} queries, best of {repeats})"
+        ),
+        x_label="encoding",
+        columns=_COLUMNS,
+    )
+    for encoding in _ENCODINGS:
+        index = _build(encoding, table, names)
+        certain_rows = 0
+        classic_rows = 0
+        possible_rows = 0
+        identical = 1
+        for query in queries:
+            certain = np.asarray(
+                index.execute_ids(query, MissingSemantics.NOT_MATCH)
+            )
+            possible = np.asarray(
+                index.execute_ids(query, MissingSemantics.IS_MATCH)
+            )
+            got_c, got_p = index.execute_ids_both(query)
+            classic = _classic_count(completed, query)
+            certain_rows += len(certain)
+            classic_rows += classic
+            possible_rows += len(possible)
+            bracketed = len(certain) <= classic <= len(possible)
+            subset = np.all(np.isin(certain, possible))
+            if not (
+                bracketed
+                and subset
+                and np.array_equal(np.asarray(got_c), certain)
+                and np.array_equal(np.asarray(got_p), possible)
+            ):
+                identical = 0
+        two_pass_ms = time_queries(
+            lambda q: (
+                index.execute_ids(q, MissingSemantics.NOT_MATCH),
+                index.execute_ids(q, MissingSemantics.IS_MATCH),
+            ),
+            queries,
+            repeats,
+        )
+        both_ms = time_queries(
+            lambda q: index.execute_ids_both(q), queries, repeats
+        )
+        result.add_row(
+            encoding,
+            certain_rows,
+            classic_rows,
+            possible_rows,
+            round(two_pass_ms, 3),
+            round(both_ms, 3),
+            round(two_pass_ms / both_ms, 3) if both_ms else 0.0,
+            identical,
+        )
+    result.notes.append(
+        "expect: certain <= classic <= possible row counts on every row; "
+        "one_pass_speedup > 1 (the pair shares the interval work); "
+        "certain_subset_identical must stay 1"
+    )
+    return result

@@ -7,11 +7,26 @@ from repro.query.boolean import (
     Or,
     Predicate,
     evaluate_predicate,
+    evaluate_predicate_both,
     evaluate_predicate_mask,
+    evaluate_predicate_mask_both,
     from_range_query,
 )
-from repro.query.ground_truth import evaluate, evaluate_mask, selectivity, validate_query
-from repro.query.model import Interval, MissingSemantics, RangeQuery
+from repro.query.ground_truth import (
+    evaluate,
+    evaluate_mask,
+    evaluate_mask_both,
+    selectivity,
+    validate_query,
+)
+from repro.query.model import (
+    BOTH,
+    Interval,
+    MissingSemantics,
+    RangeQuery,
+    ThreeValued,
+    resolve_semantics,
+)
 from repro.query.workload import (
     WorkloadGenerator,
     attribute_selectivity_for,
@@ -21,19 +36,25 @@ from repro.query.workload import (
 __all__ = [
     "And",
     "Atom",
+    "BOTH",
     "Interval",
     "MissingSemantics",
     "Not",
     "Or",
     "Predicate",
     "RangeQuery",
+    "ThreeValued",
     "evaluate_predicate",
+    "evaluate_predicate_both",
     "evaluate_predicate_mask",
+    "evaluate_predicate_mask_both",
     "from_range_query",
+    "resolve_semantics",
     "WorkloadGenerator",
     "attribute_selectivity_for",
     "evaluate",
     "evaluate_mask",
+    "evaluate_mask_both",
     "expected_global_selectivity",
     "selectivity",
     "validate_query",

@@ -8,14 +8,29 @@ a small predicate algebra:
 * :class:`Atom` — one interval constraint on one attribute;
 * :class:`And` / :class:`Or` / :class:`Not` — combinators.
 
-**Missing-data semantics are compositional over atoms**: each atom first
-resolves to its record set under the chosen
-:class:`~repro.query.model.MissingSemantics` (exactly as in the paper), and
-the combinators are ordinary set operations on those results.  In
-particular ``Not(atom)`` is the complement of the atom's match set — under
-missing-is-a-match a record with a missing value satisfies the atom, so it
-does *not* satisfy the negation.  This keeps every execution engine (oracle
-scan, bitmap indexes, VA-file) trivially consistent.
+**Negation crosses semantics bounds.**  The two
+:class:`~repro.query.model.MissingSemantics` are the poles of the
+three-valued answer model: ``NOT_MATCH`` computes the *certain* answers
+(rows that match no matter what the missing values turn out to be) and
+``IS_MATCH`` the *possible* answers (rows that could match for some
+completion).  Under that reading a missing row satisfies neither ``p``
+certainly nor ``¬p`` certainly, so ``Not`` obeys the bound-swap rule
+
+    certain(¬p) = ¬possible(p)        possible(¬p) = ¬certain(p)
+
+and evaluating ``Not(child)`` under one semantics complements the child
+evaluated under the *opposite* semantics.  (Earlier revisions of this
+module complemented within a single semantics — ``certain(¬p) was
+¬certain(p)`` — which wrongly put every missing row in the certain answer
+of ``¬p``; that behavior was a bug, not a contract, and is fixed here and
+pinned by regression tests.)  ``And``/``Or`` remain ordinary set
+operations bound-by-bound, which keeps every execution engine (oracle
+scan, bitmap indexes, VA-file) consistent.
+
+The ``*_both`` variants evaluate one predicate tree into its
+``(certain, possible)`` pair in a single pass: each atom's two bitvectors
+are derived together (possible = certain ∪ missing), combinators apply
+pairwise, and ``Not`` swaps the bounds — see ``docs/semantics.md``.
 """
 
 from __future__ import annotations
@@ -167,7 +182,12 @@ def evaluate_predicate_mask(
         ]
         return np.logical_or.reduce(masks)
     if isinstance(predicate, Not):
-        return ~evaluate_predicate_mask(table, predicate.child, semantics)
+        # Bound-swap rule: the child is evaluated under the opposite
+        # semantics, so a missing row is in neither certain(p) nor
+        # certain(¬p) but in both possible(p) and possible(¬p).
+        return ~evaluate_predicate_mask(
+            table, predicate.child, semantics.opposite
+        )
     raise QueryError(f"unknown predicate type {type(predicate).__name__}")
 
 
@@ -178,6 +198,57 @@ def evaluate_predicate(
 ) -> np.ndarray:
     """Sorted matching record ids for a predicate (ground truth)."""
     return np.flatnonzero(evaluate_predicate_mask(table, predicate, semantics))
+
+
+def evaluate_predicate_mask_both(
+    table,
+    predicate: Predicate,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-pass ground-truth ``(certain, possible)`` mask pair.
+
+    Each atom's in-range scan happens once; the possible bound adds the
+    attribute's missing rows on top of it.  ``And``/``Or`` combine the
+    bounds pairwise and ``Not`` swaps them.
+    """
+    if isinstance(predicate, Atom):
+        column = table.column(predicate.attribute)
+        cardinality = table.schema.cardinality(predicate.attribute)
+        if predicate.interval.hi > cardinality:
+            from repro.errors import DomainError
+
+            raise DomainError(
+                f"interval {predicate.interval} exceeds domain "
+                f"1..{cardinality} of attribute {predicate.attribute!r}"
+            )
+        certain = (column >= predicate.interval.lo) & (
+            column <= predicate.interval.hi
+        )
+        possible = certain | (column == 0)
+        return certain, possible
+    if isinstance(predicate, (And, Or)):
+        pairs = [
+            evaluate_predicate_mask_both(table, child)
+            for child in predicate.children
+        ]
+        combine = np.logical_and if isinstance(predicate, And) else np.logical_or
+        certain, possible = pairs[0]
+        for next_certain, next_possible in pairs[1:]:
+            certain = combine(certain, next_certain)
+            possible = combine(possible, next_possible)
+        return certain, possible
+    if isinstance(predicate, Not):
+        certain, possible = evaluate_predicate_mask_both(table, predicate.child)
+        return ~possible, ~certain
+    raise QueryError(f"unknown predicate type {type(predicate).__name__}")
+
+
+def evaluate_predicate_both(
+    table,
+    predicate: Predicate,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted ``(certain_ids, possible_ids)`` for a predicate (ground truth)."""
+    certain, possible = evaluate_predicate_mask_both(table, predicate)
+    return np.flatnonzero(certain), np.flatnonzero(possible)
 
 
 # -- index execution -------------------------------------------------------------
@@ -211,10 +282,58 @@ def execute_on_bitmap_index(
             )
         return combined
     if isinstance(predicate, Not):
-        inner = execute_on_bitmap_index(index, predicate.child, semantics, counter)
+        # certain(¬p) = ¬possible(p) and vice versa: complement the child
+        # evaluated under the opposite bound.
+        inner = execute_on_bitmap_index(
+            index, predicate.child, semantics.opposite, counter
+        )
         if counter is not None:
             counter.record_not(inner)
         return ~inner
+    raise QueryError(f"unknown predicate type {type(predicate).__name__}")
+
+
+def execute_on_bitmap_index_both(
+    index,
+    predicate: Predicate,
+    counter=None,
+):
+    """One-pass ``(certain, possible)`` bitvector pair on a bitmap index.
+
+    Atoms go through :meth:`~repro.bitmap.base.BitmapIndex.evaluate_interval_both`
+    so the expensive interval work (bitmap ORs / cumulative lookups) is
+    shared between the two bounds; ``And``/``Or`` combine pairwise and
+    ``Not`` swaps the bounds.
+    """
+    if isinstance(predicate, Atom):
+        return index.evaluate_interval_both(
+            predicate.attribute, predicate.interval, counter
+        )
+    if isinstance(predicate, (And, Or)):
+        pairs = [
+            execute_on_bitmap_index_both(index, child, counter)
+            for child in predicate.children
+        ]
+        certain, possible = pairs[0]
+        for next_certain, next_possible in pairs[1:]:
+            if counter is not None:
+                counter.record_binary(certain, next_certain)
+                counter.record_binary(possible, next_possible)
+            if isinstance(predicate, And):
+                certain = certain & next_certain
+                possible = possible & next_possible
+            else:
+                certain = certain | next_certain
+                possible = possible | next_possible
+        return certain, possible
+    if isinstance(predicate, Not):
+        certain, possible = execute_on_bitmap_index_both(
+            index, predicate.child, counter
+        )
+        if counter is not None:
+            counter.record_not(certain)
+            counter.record_not(possible)
+        return ~possible, ~certain
     raise QueryError(f"unknown predicate type {type(predicate).__name__}")
 
 
@@ -248,5 +367,45 @@ def execute_on_vafile(
         ]
         return np.logical_or.reduce(masks)
     if isinstance(predicate, Not):
-        return ~execute_on_vafile(vafile, predicate.child, semantics, stats)
+        # Same bound-swap as the other engines: negate the opposite bound.
+        return ~execute_on_vafile(
+            vafile, predicate.child, semantics.opposite, stats
+        )
+    raise QueryError(f"unknown predicate type {type(predicate).__name__}")
+
+
+def execute_on_vafile_both(
+    vafile,
+    predicate: Predicate,
+    stats=None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-pass ``(certain, possible)`` boolean mask pair on a VA-file.
+
+    Each atom runs the paired scan-and-refine once
+    (:meth:`~repro.vafile.vafile.VAFile.execute_ids_both` shares the
+    per-attribute approximation scan between bounds), then the combinators
+    merge bound-by-bound with ``Not`` swapping the pair.
+    """
+    if isinstance(predicate, Atom):
+        query = RangeQuery({predicate.attribute: predicate.interval})
+        certain_ids, possible_ids = vafile.execute_ids_both(query, stats)
+        certain = np.zeros(vafile.num_records, dtype=bool)
+        certain[certain_ids] = True
+        possible = np.zeros(vafile.num_records, dtype=bool)
+        possible[possible_ids] = True
+        return certain, possible
+    if isinstance(predicate, (And, Or)):
+        pairs = [
+            execute_on_vafile_both(vafile, child, stats)
+            for child in predicate.children
+        ]
+        combine = np.logical_and if isinstance(predicate, And) else np.logical_or
+        certain, possible = pairs[0]
+        for next_certain, next_possible in pairs[1:]:
+            certain = combine(certain, next_certain)
+            possible = combine(possible, next_possible)
+        return certain, possible
+    if isinstance(predicate, Not):
+        certain, possible = execute_on_vafile_both(vafile, predicate.child, stats)
+        return ~possible, ~certain
     raise QueryError(f"unknown predicate type {type(predicate).__name__}")

@@ -50,6 +50,28 @@ def evaluate_mask(
     return result
 
 
+def evaluate_mask_both(
+    table: IncompleteTable,
+    query: RangeQuery,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One-pass ``(certain, possible)`` answer masks over all records.
+
+    Shares the per-attribute in-range scan between the two bounds: the
+    certain bound requires the value present and in range, the possible
+    bound additionally admits missing values.  For a conjunctive query the
+    certain mask is always a subset of the possible mask.
+    """
+    validate_query(table, query)
+    certain = np.ones(table.num_records, dtype=bool)
+    possible = np.ones(table.num_records, dtype=bool)
+    for name, interval in query.items():
+        column = table.column(name)
+        in_range = (column >= interval.lo) & (column <= interval.hi)
+        certain &= in_range
+        possible &= in_range | (column == MISSING)
+    return certain, possible
+
+
 def evaluate(
     table: IncompleteTable,
     query: RangeQuery,

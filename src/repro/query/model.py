@@ -11,6 +11,14 @@ Two query semantics are defined for incomplete data:
   attribute is either missing or falls inside its interval.
 * :attr:`MissingSemantics.NOT_MATCH` — a tuple matches only when every
   search-key attribute is present *and* falls inside its interval.
+
+The two semantics are the poles of the three-valued (certain, possible)
+answer model — ``NOT_MATCH`` computes the *certain* answers, ``IS_MATCH``
+the *possible* answers — and :data:`BOTH` requests both bounds in one
+pass (see ``docs/semantics.md``).  :func:`resolve_semantics` normalizes
+user-facing spellings (enum members or the strings ``"is_match"``,
+``"not_match"``, ``"both"``) into either a :class:`MissingSemantics`
+member or the :data:`BOTH` sentinel.
 """
 
 from __future__ import annotations
@@ -29,6 +37,61 @@ class MissingSemantics(enum.Enum):
     IS_MATCH = "is_match"
     #: A missing value disqualifies the record for that attribute.
     NOT_MATCH = "not_match"
+
+    @property
+    def opposite(self) -> "MissingSemantics":
+        """The other bound of the (certain, possible) pair.
+
+        Negation crosses bounds — ``certain(¬p) = ¬possible(p)`` and
+        ``possible(¬p) = ¬certain(p)`` — so evaluating ``Not`` under one
+        semantics requires the child under the opposite one.
+        """
+        if self is MissingSemantics.IS_MATCH:
+            return MissingSemantics.NOT_MATCH
+        return MissingSemantics.IS_MATCH
+
+
+class ThreeValued(enum.Enum):
+    """Sentinel type requesting both bounds of the three-valued answer.
+
+    A single-member enum (rather than a bare ``object()``) so the sentinel
+    survives pickling — shard tasks carry the requested semantics to
+    process-based executors, and enum members unpickle to the *same*
+    object, keeping ``is BOTH`` checks valid on the far side.
+    """
+
+    BOTH = "both"
+
+
+#: Request a one-pass ``(certain, possible)`` evaluation.
+BOTH = ThreeValued.BOTH
+
+
+def resolve_semantics(
+    value: "MissingSemantics | ThreeValued | str | None",
+) -> "MissingSemantics | ThreeValued":
+    """Normalize a user-facing semantics spelling.
+
+    Accepts enum members, their string values (``"is_match"``,
+    ``"not_match"``, ``"both"``), and ``None`` (the legacy default,
+    ``IS_MATCH``).  Raises :class:`~repro.errors.QueryError` on anything
+    else so serving layers can map it to a 400.
+    """
+    if value is None:
+        return MissingSemantics.IS_MATCH
+    if isinstance(value, (MissingSemantics, ThreeValued)):
+        return value
+    if isinstance(value, str):
+        if value == ThreeValued.BOTH.value:
+            return BOTH
+        try:
+            return MissingSemantics(value)
+        except ValueError:
+            pass
+    raise QueryError(
+        f"unknown semantics {value!r}; expected one of "
+        f"'is_match', 'not_match', 'both'"
+    )
 
 
 @dataclass(frozen=True, slots=True)

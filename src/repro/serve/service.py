@@ -16,6 +16,7 @@ Routes (JSON in/out unless noted):
 ``/count``         POST  range query -> match count only
 ``/batch``         POST  many range queries through the batch executor
 ``/boolean``       POST  AND/OR/NOT predicate tree query
+``/ranked``        POST  probabilistic query -> ids ranked by match chance
 ``/explain``       POST  the sharded plan for a range query, as text
 ``/append``        POST  append rows (new epoch)
 ``/delete``        POST  remove rows by id (new epoch)
@@ -24,9 +25,12 @@ Routes (JSON in/out unless noted):
 ``/drop-index``    POST  remove an index (new epoch)
 =================  ====  ==================================================
 
-Read requests accept ``semantics`` (``"is_match"`` / ``"not_match"``),
-``using`` (force an index), ``limit`` (cap returned record ids), and
-``deadline_ms`` (also settable via an ``X-Deadline-Ms`` header).
+Read requests accept ``semantics`` (``"is_match"`` / ``"not_match"`` /
+``"both"`` — the last returns the certain/possible answer pair, see
+``docs/semantics.md``), ``using`` (force an index), ``limit`` (cap
+returned record ids), and ``deadline_ms`` (also settable via an
+``X-Deadline-Ms`` header).  ``/ranked`` additionally accepts
+``threshold`` (minimum match probability).
 
 Admission control: at most ``max_inflight`` requests execute at once;
 up to ``queue_limit`` more wait their turn.  Beyond that the service
@@ -48,11 +52,11 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import ReproError
+from repro.errors import QueryError, ReproError
 from repro.observability import get_registry, record
 from repro.observability.export import render_prometheus
 from repro.query.boolean import And, Atom, Not, Or, Predicate
-from repro.query.model import MissingSemantics, RangeQuery
+from repro.query.model import BOTH, MissingSemantics, RangeQuery, resolve_semantics
 from repro.serve.epoch import EpochManager
 from repro.serve.writer import SnapshotWriter
 from repro.shard.sharded import ShardedDatabase
@@ -68,6 +72,7 @@ _ROUTE_KEYS = {
     "/count": "count",
     "/batch": "batch",
     "/boolean": "boolean",
+    "/ranked": "ranked",
     "/explain": "explain",
     "/append": "append",
     "/delete": "delete",
@@ -87,17 +92,11 @@ class _Reject(Exception):
         self.status = status
 
 
-def _parse_semantics(value) -> MissingSemantics:
-    if value is None:
-        return MissingSemantics.IS_MATCH
+def _parse_semantics(value):
     try:
-        return MissingSemantics(value)
-    except ValueError:
-        raise _Reject(
-            400,
-            f"unknown semantics {value!r}; expected one of "
-            f"{[s.value for s in MissingSemantics]}",
-        )
+        return resolve_semantics(value)
+    except QueryError as exc:
+        raise _Reject(400, str(exc))
 
 
 def _parse_bounds(body: dict, key: str = "bounds") -> RangeQuery:
@@ -124,8 +123,19 @@ def _parse_predicate(node) -> Predicate:
     (op, value), = node.items()
     try:
         if op == "atom":
+            if not isinstance(value, dict):
+                raise TypeError(
+                    f"atom body must be an object, got "
+                    f"{type(value).__name__}"
+                )
+            attribute = value["attribute"]
+            if not isinstance(attribute, str):
+                raise TypeError(
+                    f"'attribute' must be a string, got "
+                    f"{type(attribute).__name__}"
+                )
             return Atom.of(
-                value["attribute"], int(value["lo"]),
+                attribute, int(value["lo"]),
                 int(value.get("hi", value["lo"])),
             )
         if op == "and":
@@ -136,7 +146,15 @@ def _parse_predicate(node) -> Predicate:
             return Not(_parse_predicate(value))
     except _Reject:
         raise
-    except (TypeError, KeyError, ValueError) as exc:
+    except KeyError as exc:
+        raise _Reject(
+            400, f"malformed predicate node {op!r}: missing key {exc}"
+        )
+    except (TypeError, ValueError, ReproError) as exc:
+        # ReproError covers constructor-level rejections — empty and/or
+        # children, inverted intervals — which used to escape as opaque
+        # errors; a client typo should always come back as a 400 naming
+        # the offending node.
         raise _Reject(400, f"malformed predicate node {op!r}: {exc}")
     raise _Reject(400, f"unknown predicate operator {op!r}")
 
@@ -482,7 +500,9 @@ class QueryService:
         }, None
 
     def _dispatch(self, path: str, body: dict) -> dict:
-        if path in ("/query", "/count", "/batch", "/boolean", "/explain"):
+        if path in (
+            "/query", "/count", "/batch", "/boolean", "/ranked", "/explain",
+        ):
             return self._read(path, body)
         return self._write(path, body)
 
@@ -490,10 +510,13 @@ class QueryService:
 
     def _read(self, path: str, body: dict) -> dict:
         semantics = _parse_semantics(body.get("semantics"))
+        both = semantics is BOTH
         using = body.get("using")
         limit = body.get("limit")
         with self.epochs.pin() as pin:
             db = pin.database
+            if path == "/ranked":
+                return self._ranked(pin, db, body, using)
             if path == "/batch":
                 queries = body.get("queries")
                 if not isinstance(queries, list) or not queries:
@@ -506,16 +529,27 @@ class QueryService:
                 reports = db.execute_batch(
                     normalized, semantics, using=using
                 )
-                return {
-                    "epoch": pin.epoch,
-                    "semantics": semantics.value,
-                    "results": [
+                if both:
+                    results = [
+                        dict(
+                            index=r.index_name,
+                            certain=_ids_payload(r.certain_ids, limit),
+                            possible=_ids_payload(r.possible_ids, limit),
+                        )
+                        for r in reports
+                    ]
+                else:
+                    results = [
                         dict(
                             index=r.index_name,
                             **_ids_payload(r.record_ids, limit),
                         )
                         for r in reports
-                    ],
+                    ]
+                return {
+                    "epoch": pin.epoch,
+                    "semantics": semantics.value,
+                    "results": results,
                 }
             if path == "/boolean":
                 predicate = _parse_predicate(body.get("predicate"))
@@ -535,13 +569,50 @@ class QueryService:
                 "semantics": semantics.value,
                 "index": report.index_name,
                 "kind": report.kind,
-                "matches": report.num_matches,
             }
             if report.elapsed_ns is not None:
                 payload["elapsed_ms"] = round(report.elapsed_ns / 1e6, 3)
-            if path != "/count":
-                payload.update(_ids_payload(report.record_ids, limit))
+            if both:
+                payload["certain_matches"] = report.num_certain
+                payload["possible_matches"] = report.num_possible
+                if path != "/count":
+                    payload["certain"] = _ids_payload(
+                        report.certain_ids, limit
+                    )
+                    payload["possible"] = _ids_payload(
+                        report.possible_ids, limit
+                    )
+            else:
+                payload["matches"] = report.num_matches
+                if path != "/count":
+                    payload.update(_ids_payload(report.record_ids, limit))
             return payload
+
+    def _ranked(self, pin, db, body: dict, using) -> dict:
+        query = _parse_bounds(body)
+        raw = body.get("threshold", 0.0)
+        try:
+            threshold = float(raw)
+        except (TypeError, ValueError):
+            raise _Reject(400, f"threshold must be a number, got {raw!r}")
+        limit = body.get("limit")
+        report = db.execute_ranked(
+            query,
+            threshold=threshold,
+            limit=int(limit) if limit is not None else None,
+            using=using,
+        )
+        return {
+            "epoch": pin.epoch,
+            "index": report.index_name,
+            "kind": report.kind,
+            "matches": report.num_matches,
+            "certain_matches": report.num_certain,
+            "record_ids": [int(i) for i in report.record_ids],
+            "probabilities": [
+                round(float(p), 6) for p in report.probabilities
+            ],
+        }
 
     # -- write routes -----------------------------------------------------
 

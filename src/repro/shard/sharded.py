@@ -40,11 +40,23 @@ import numpy as np
 
 from repro import observability as obs
 from repro.core.cache import DEFAULT_CACHE_BYTES, CacheStats
-from repro.core.engine import _PREFERENCE, IncompleteDatabase, QueryReport
-from repro.core.planner import CostEstimate, combine_shard_estimates, rank_plans
+from repro.core.engine import (
+    _PREFERENCE,
+    IncompleteDatabase,
+    QueryReport,
+    RankedReport,
+    rank_both_bounds,
+)
+from repro.core.planner import (
+    CostEstimate,
+    combine_shard_estimates,
+    rank_plans,
+    semantics_for_costing,
+)
+from repro.core.statistics import TableStatistics
 from repro.dataset.table import IncompleteTable
 from repro.errors import QueryError, ReproError, ShardError
-from repro.query.model import MissingSemantics, RangeQuery
+from repro.query.model import BOTH, MissingSemantics, RangeQuery, resolve_semantics
 from repro.shard.executor import (
     ShardBatchTask,
     ShardExecutor,
@@ -57,6 +69,7 @@ __all__ = [
     "ShardReportSlice",
     "ShardedDatabase",
     "ShardedQueryReport",
+    "ShardedThreeValuedReport",
 ]
 
 
@@ -124,6 +137,52 @@ class ShardedQueryReport:
             f"ShardedQueryReport(index={self.index_name!r}, "
             f"matches={self.num_matches}, shards={len(self.per_shard)}, "
             f"pruned={self.num_pruned})"
+        )
+
+
+@dataclass(frozen=True)
+class ShardedThreeValuedReport:
+    """Outcome of one scatter-gather both-bounds (``semantics="both"``) query.
+
+    Per-shard slices report the *possible* bound's match count (the pair's
+    superset); shards pruned under the possible bound contribute to neither
+    bound, since certain matches are a subset of possible matches.
+    """
+
+    index_name: str
+    kind: str
+    #: Global ids certain to match, ascending.
+    certain_ids: np.ndarray = field(repr=False)
+    #: Global ids that possibly match (superset of certain), ascending.
+    possible_ids: np.ndarray = field(repr=False)
+    per_shard: tuple[ShardReportSlice, ...] = ()
+    elapsed_ns: int | None = None
+
+    @property
+    def num_certain(self) -> int:
+        """Number of certain matches across all shards."""
+        return len(self.certain_ids)
+
+    @property
+    def num_possible(self) -> int:
+        """Number of possible matches across all shards."""
+        return len(self.possible_ids)
+
+    @property
+    def num_pruned(self) -> int:
+        """How many shards the planner skipped outright."""
+        return sum(1 for s in self.per_shard if s.pruned)
+
+    @property
+    def possible_only_ids(self) -> np.ndarray:
+        """Rows that are possible but not certain matches."""
+        return np.setdiff1d(self.possible_ids, self.certain_ids)
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedThreeValuedReport(index={self.index_name!r}, "
+            f"certain={self.num_certain}, possible={self.num_possible}, "
+            f"shards={len(self.per_shard)}, pruned={self.num_pruned})"
         )
 
 
@@ -232,6 +291,8 @@ class ShardedDatabase:
             else min(num_shards, 32)
         )
         self._cache_bytes = cache_bytes
+        #: Whole-table statistics, built lazily for the ranked answer mode.
+        self._stats: TableStatistics | None = None
         self._index_meta: dict[str, _IndexMeta] = {}
         self._plan_memo: dict[tuple, tuple] = {}
         #: Bumped on every create/drop/attach so process workers can fence
@@ -321,6 +382,13 @@ class ShardedDatabase:
     def executor(self) -> ShardExecutor:
         """The fan-out backend serving this database."""
         return self._executor_impl
+
+    @property
+    def statistics(self) -> TableStatistics:
+        """Whole-table (unsharded) statistics, built lazily."""
+        if self._stats is None:
+            self._stats = TableStatistics(self._table)
+        return self._stats
 
     def close(self) -> None:
         """Shut down the fan-out executor (pool, processes, shared memory).
@@ -567,10 +635,15 @@ class ShardedDatabase:
         local ids back into one ascending global id array.  With
         ``trace=True`` the report carries a root span whose children are the
         per-shard query traces (one subtree per executed shard, tagged with
-        its shard id).
+        its shard id).  With ``semantics="both"`` each shard computes its
+        (certain, possible) pair in one pass and a
+        :class:`ShardedThreeValuedReport` comes back.
         """
         self._ensure_open()
         query = self._normalize(query)
+        semantics = resolve_semantics(semantics)
+        if semantics is BOTH:
+            return self._execute_both(query, using)
         start = time.perf_counter_ns()
         observing = obs.enabled()
         recorder = obs.get_recorder()
@@ -695,6 +768,64 @@ class ShardedDatabase:
             )
         return result
 
+    def _execute_both(
+        self, query: RangeQuery, using: str | None
+    ) -> ShardedThreeValuedReport:
+        """Scatter-gather both-bounds execution (sequential fan-out).
+
+        Plans once (costed under the possible bound — one plan serves the
+        pair), prunes with the *is-a-match* histogram check (no possible
+        match rules out both bounds, since certain is a subset of
+        possible), then runs each surviving shard's one-pass both-bounds
+        engine path and merges the two global id sets independently.
+        """
+        start = time.perf_counter_ns()
+        observing = obs.enabled()
+        costing = semantics_for_costing(BOTH)
+        chosen, forced, _ = self._resolve_plan(query, costing, using)
+        certain_parts: list[np.ndarray] = []
+        possible_parts: list[np.ndarray] = []
+        slices: list[ShardReportSlice] = []
+        executed = 0
+        for shard in self._shards:
+            if not self._shard_can_match(
+                shard, query, MissingSemantics.IS_MATCH
+            ):
+                slices.append(ShardReportSlice(shard.shard_id, True, 0, 0))
+                continue
+            task_start = time.perf_counter_ns()
+            report = shard.database.execute(query, BOTH, chosen)
+            task_ns = time.perf_counter_ns() - task_start
+            certain_parts.append(shard.to_global(report.certain_ids))
+            possible_parts.append(shard.to_global(report.possible_ids))
+            slices.append(ShardReportSlice(
+                shard.shard_id, False, report.num_possible, task_ns,
+            ))
+            executed += 1
+        certain = (
+            np.sort(np.concatenate(certain_parts))
+            if certain_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        possible = (
+            np.sort(np.concatenate(possible_parts))
+            if possible_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        elapsed_ns = time.perf_counter_ns() - start
+        if observing:
+            obs.record("shard.queries")
+            obs.record("shard.pruned", len(slices) - executed)
+            obs.record("shard.fanout_tasks", executed)
+        return ShardedThreeValuedReport(
+            index_name=chosen if chosen else "<scan>",
+            kind=self._index_meta[chosen].kind if chosen else "scan",
+            certain_ids=certain,
+            possible_ids=possible,
+            per_shard=tuple(slices),
+            elapsed_ns=elapsed_ns,
+        )
+
     def execute_batch(
         self,
         queries,
@@ -708,10 +839,15 @@ class ShardedDatabase:
         shard then runs its surviving (un-pruned) slice of the workload
         through the engine's grouped batch executor with that shard's own
         sub-result cache, and per-query results merge back in submission
-        order.
+        order.  With ``semantics="both"`` each query runs through the
+        sequential both-bounds fan-out (plans are still memoized across the
+        workload) and :class:`ShardedThreeValuedReport` objects come back.
         """
         self._ensure_open()
         normalized = [self._normalize(q) for q in queries]
+        semantics = resolve_semantics(semantics)
+        if semantics is BOTH:
+            return [self._execute_both(q, using) for q in normalized]
         observing = obs.enabled()
         recorder = obs.get_recorder()
         plans = {}
@@ -841,9 +977,16 @@ class ShardedDatabase:
         query,
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         using: str | None = None,
-    ) -> int:
-        """Number of records matching a query, summed across shards."""
-        return self.execute(query, semantics, using).num_matches
+    ):
+        """Number of records matching a query, summed across shards.
+
+        With ``semantics="both"`` returns the ``(certain, possible)``
+        count pair instead of a single int.
+        """
+        report = self.execute(query, semantics, using)
+        if isinstance(report, ShardedThreeValuedReport):
+            return report.num_certain, report.num_possible
+        return report.num_matches
 
     def fetch(
         self,
@@ -851,9 +994,55 @@ class ShardedDatabase:
         semantics: MissingSemantics = MissingSemantics.IS_MATCH,
         using: str | None = None,
     ) -> IncompleteTable:
-        """Materialize the matching rows (global order) as a new table."""
+        """Materialize the matching rows (global order) as a new table.
+
+        Requires a single semantics: a both-bounds answer is two row sets,
+        so there is no one table to materialize — fetch the bound you want.
+        """
+        semantics = resolve_semantics(semantics)
+        if semantics is BOTH:
+            raise QueryError(
+                "fetch needs a single semantics ('is_match' or 'not_match'); "
+                "a both-bounds answer has two row sets"
+            )
         report = self.execute(query, semantics, using)
         return self._table.take(report.record_ids)
+
+    def execute_ranked(
+        self,
+        query,
+        threshold: float = 0.0,
+        limit: int | None = None,
+        using: str | None = None,
+    ) -> RankedReport:
+        """Probabilistic answers across all shards, ranked by match chance.
+
+        Runs the both-bounds scatter-gather, then scores possible-only rows
+        against the *whole-table* value histograms (so probabilities match
+        the unsharded engine's bit-for-bit regardless of how rows were
+        partitioned).  Same contract as
+        :meth:`~repro.core.engine.IncompleteDatabase.execute_ranked`.
+        """
+        query = self._normalize(query)
+        report = self.execute(query, BOTH, using)
+        ids, probabilities, num_certain = rank_both_bounds(
+            self._table,
+            self.statistics,
+            query,
+            report.certain_ids,
+            report.possible_ids,
+            threshold,
+            limit,
+        )
+        if obs.enabled():
+            obs.record("semantics.ranked_queries")
+        return RankedReport(
+            index_name=report.index_name,
+            kind=report.kind,
+            record_ids=ids,
+            probabilities=probabilities,
+            num_certain=num_certain,
+        )
 
     def query_predicate(
         self,
@@ -870,11 +1059,16 @@ class ShardedDatabase:
         :meth:`~repro.core.engine.IncompleteDatabase.query_predicate`.
         Predicates are not planned through the cost model or pruned — a
         NOT over a pruned-out shard could still match — so every shard
-        executes.
+        executes.  With ``semantics="both"`` each shard evaluates the tree
+        three-valued in one pass and a :class:`ShardedThreeValuedReport`
+        comes back.
         """
         self._ensure_open()
+        semantics = resolve_semantics(semantics)
+        both = semantics is BOTH
         start = time.perf_counter_ns()
         parts = []
+        possible_parts = []
         slices = []
         names = set()
         kinds = set()
@@ -884,9 +1078,15 @@ class ShardedDatabase:
                 predicate, semantics, using=using
             )
             task_ns = time.perf_counter_ns() - task_start
-            parts.append(shard.to_global(report.record_ids))
+            if both:
+                parts.append(shard.to_global(report.certain_ids))
+                possible_parts.append(shard.to_global(report.possible_ids))
+                matched = report.num_possible
+            else:
+                parts.append(shard.to_global(report.record_ids))
+                matched = report.num_matches
             slices.append(ShardReportSlice(
-                shard.shard_id, False, report.num_matches, task_ns,
+                shard.shard_id, False, matched, task_ns,
             ))
             names.add(report.index_name)
             kinds.add(report.kind)
@@ -899,9 +1099,25 @@ class ShardedDatabase:
         if obs.enabled():
             obs.record("shard.queries")
             obs.record("shard.fanout_tasks", len(self._shards))
+        index_name = names.pop() if len(names) == 1 else "<mixed>"
+        kind = kinds.pop() if len(kinds) == 1 else "mixed"
+        if both:
+            possible = (
+                np.sort(np.concatenate(possible_parts))
+                if possible_parts
+                else np.empty(0, dtype=np.int64)
+            )
+            return ShardedThreeValuedReport(
+                index_name=index_name,
+                kind=kind,
+                certain_ids=merged,
+                possible_ids=possible,
+                per_shard=tuple(slices),
+                elapsed_ns=elapsed_ns,
+            )
         return ShardedQueryReport(
-            index_name=names.pop() if len(names) == 1 else "<mixed>",
-            kind=kinds.pop() if len(kinds) == 1 else "mixed",
+            index_name=index_name,
+            kind=kind,
             record_ids=merged,
             per_shard=tuple(slices),
             elapsed_ns=elapsed_ns,
@@ -914,12 +1130,18 @@ class ShardedDatabase:
     ) -> str:
         """Human-readable sharded plan: merged costs plus pruning decisions."""
         query = self._normalize(query)
-        chosen, merged, _ = self._plan_sharded(query, semantics)
+        semantics = resolve_semantics(semantics)
+        costing = semantics_for_costing(semantics)
+        chosen, merged, _ = self._plan_sharded(query, costing)
         lines = [
             f"ShardedQuery: {query!r}",
             f"  semantics: {semantics.value}",
             f"  shards: {self.num_shards} ({self.partitioner_name})",
         ]
+        if semantics is BOTH:
+            lines.append(
+                "  bounds: one plan, costed under is_match (superset bound)"
+            )
         if merged:
             lines.append("  merged plans (items summed over shards):")
             for estimate in merged:
@@ -939,7 +1161,7 @@ class ShardedDatabase:
         pruned = [
             shard.shard_id
             for shard in self._shards
-            if not self._shard_can_match(shard, query, semantics)
+            if not self._shard_can_match(shard, query, costing)
         ]
         lines.append(
             f"  pruned shards: {pruned if pruned else '(none)'} "

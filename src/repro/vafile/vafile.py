@@ -249,6 +249,52 @@ class VAFile:
                 _obs_record("vafile.candidates", candidates)
         return mask
 
+    def _interval_mask_both(
+        self,
+        name: str,
+        interval: Interval,
+        stats: VaQueryStats | None,
+        counter: OpCounter | None,
+        shared_masks: dict | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One dimension's ``(certain, possible)`` approximate masks.
+
+        One pass over the stored codes yields both bounds: the in-range
+        comparison is the certain mask, and ORing in the missing-code rows
+        gives the possible mask.  Both are memoized under the same
+        per-semantics keys :meth:`_interval_mask` uses, so both-mode and
+        single-bound queries in one batch share scans either way.
+        """
+        certain_key = (
+            name, interval.lo, interval.hi, MissingSemantics.NOT_MATCH.value
+        )
+        possible_key = (
+            name, interval.lo, interval.hi, MissingSemantics.IS_MATCH.value
+        )
+        if shared_masks is not None:
+            certain = shared_masks.get(certain_key)
+            possible = shared_masks.get(possible_key)
+            if certain is not None and possible is not None:
+                if _obs_enabled():
+                    _obs_record("vafile.batch_mask_reuses", 2)
+                return certain, possible
+        codes = self.codes(name)
+        lo_code, hi_code = self._code_bounds(name, interval)
+        certain = (codes >= lo_code) & (codes <= hi_code)
+        possible = certain | (codes == MISSING_CODE)
+        if stats is not None:
+            stats.codes_scanned += len(codes)
+        if _obs_enabled():
+            _obs_record("vafile.codes_scanned", len(codes))
+        if counter is not None:
+            counter.words_processed += len(codes)
+        if shared_masks is not None:
+            certain.setflags(write=False)
+            possible.setflags(write=False)
+            shared_masks[certain_key] = certain
+            shared_masks[possible_key] = possible
+        return certain, possible
+
     def execute_ids(
         self,
         query: RangeQuery,
@@ -273,6 +319,43 @@ class VAFile:
             stats.queries += 1
         return np.flatnonzero(exact)
 
+    def execute_ids_both(
+        self,
+        query: RangeQuery,
+        stats: VaQueryStats | None = None,
+        counter: OpCounter | None = None,
+        shared_masks: dict | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both bounds exactly, sharing one scan and one refinement pass.
+
+        Phase 1 scans the stored codes once per dimension for both masks;
+        phase 2 refines boundary bins against the possible candidate set
+        (a superset of the certain one, so its corrections apply to both).
+        Returns sorted ``(certain_ids, possible_ids)``.
+        """
+        observing = _obs_enabled()
+        with _trace_span("vafile.scan", dimensions=query.dimensionality):
+            certain = np.ones(self.num_records, dtype=bool)
+            possible = np.ones(self.num_records, dtype=bool)
+            for name, interval in query.items():
+                certain_dim, possible_dim = self._interval_mask_both(
+                    name, interval, stats, counter, shared_masks
+                )
+                certain &= certain_dim
+                possible &= possible_dim
+            if stats is not None or observing:
+                candidates = int(possible.sum())
+                if stats is not None:
+                    stats.candidates += candidates
+                if observing:
+                    _obs_record("vafile.candidates", candidates)
+        with _trace_span("vafile.refine"):
+            certain, possible = self._refine_pair(certain, possible, query, stats)
+        _obs_record("vafile.queries")
+        if stats is not None:
+            stats.queries += 1
+        return np.flatnonzero(certain), np.flatnonzero(possible)
+
     def execute_predicate_ids(
         self,
         predicate,
@@ -284,6 +367,17 @@ class VAFile:
 
         mask = execute_on_vafile(self, predicate, semantics, stats)
         return np.flatnonzero(mask)
+
+    def execute_predicate_ids_both(
+        self,
+        predicate,
+        stats: VaQueryStats | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Both bounds of a boolean predicate tree as sorted id arrays."""
+        from repro.query.boolean import execute_on_vafile_both
+
+        certain, possible = execute_on_vafile_both(self, predicate, stats)
+        return np.flatnonzero(certain), np.flatnonzero(possible)
 
     def _refine(
         self,
@@ -325,6 +419,54 @@ class VAFile:
             if observing:
                 _obs_record("vafile.records_refined", refined)
         return exact
+
+    def _refine_pair(
+        self,
+        certain: np.ndarray,
+        possible: np.ndarray,
+        query: RangeQuery,
+        stats: VaQueryStats | None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Phase 2 for both bounds with one set of boundary reads.
+
+        Boundary bins are located against the possible candidate set; since
+        ``certain ⊆ possible`` and a missing value never occupies a boundary
+        *value* bin, the same per-attribute correction
+        ``ok OR NOT boundary`` is exact for both masks.
+        """
+        observing = _obs_enabled()
+        certain_exact = certain.copy()
+        possible_exact = possible.copy()
+        needs_read = np.zeros(self.num_records, dtype=bool)
+        for name, interval in query.items():
+            quantizer = self.quantizer(name)
+            codes = self.codes(name)
+            lo_code, hi_code = self._code_bounds(name, interval)
+            partial_codes = [
+                code
+                for code in {lo_code, hi_code}
+                if not _bin_inside(quantizer.bin_range(code), interval)
+            ]
+            if not partial_codes:
+                continue
+            boundary = possible & np.isin(codes, partial_codes)
+            if not boundary.any():
+                continue
+            needs_read |= boundary
+            if observing:
+                _obs_record("vafile.cells_visited", int(boundary.sum()))
+            column = self._table.column(name)
+            ok = (column >= interval.lo) & (column <= interval.hi)
+            keep = ok | ~boundary
+            certain_exact &= keep
+            possible_exact &= keep
+        if stats is not None or observing:
+            refined = int(needs_read.sum())
+            if stats is not None:
+                stats.records_refined += refined
+            if observing:
+                _obs_record("vafile.records_refined", refined)
+        return certain_exact, possible_exact
 
 
 def _bin_inside(bin_range: tuple[int, int], interval: Interval) -> bool:

@@ -1,0 +1,74 @@
+"""Trailing-bit hygiene for bitvector NOT at word/group boundaries.
+
+Complement is the one operation where sloppy tail handling shows: the bits
+of the last word beyond ``nbits`` are zero by invariant, and a NOT that
+blindly flips whole words would turn them into phantom set bits — record
+ids past the end of the table.  These tests pin the invariant for every
+codec at the sizes where it can break: one bit either side of the plain
+32-bit word boundary and of WAH's 31-bit group boundary.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitmap.equality import EqualityEncodedBitmapIndex
+from repro.bitvector.bbc import BbcBitVector
+from repro.bitvector.bitvector import BitVector
+from repro.bitvector.wah import WahBitVector
+from repro.dataset.synthetic import generate_uniform_table
+from repro.query.boolean import Atom, Not, evaluate_predicate
+from repro.query.model import MissingSemantics
+
+#: One bit either side of the plain word (32) and WAH group (31) sizes,
+#: plus multi-word boundaries and a degenerate single-bit vector.
+BOUNDARY_SIZES = [1, 30, 31, 32, 33, 61, 62, 63, 64, 65, 93]
+
+VECTOR_CLASSES = [BitVector, WahBitVector, BbcBitVector]
+
+
+@pytest.mark.parametrize("cls", VECTOR_CLASSES)
+@pytest.mark.parametrize("nbits", BOUNDARY_SIZES)
+class TestInvertTailHygiene:
+    def _vector(self, cls, bools):
+        return cls.from_bools(bools)
+
+    def test_not_sets_no_phantom_bits(self, cls, nbits):
+        rng = np.random.default_rng(nbits)
+        bools = rng.random(nbits) < 0.5
+        inv = ~self._vector(cls, bools)
+        indices = inv.to_indices()
+        assert len(indices) == 0 or indices.max() < nbits
+        assert inv.count() == nbits - int(bools.sum())
+        assert np.array_equal(indices, np.flatnonzero(~bools))
+
+    def test_not_of_zeros_is_exactly_ones(self, cls, nbits):
+        inv = ~self._vector(cls, np.zeros(nbits, dtype=bool))
+        assert inv.count() == nbits
+        assert np.array_equal(inv.to_indices(), np.arange(nbits))
+
+    def test_not_of_ones_is_empty(self, cls, nbits):
+        inv = ~self._vector(cls, np.ones(nbits, dtype=bool))
+        assert inv.count() == 0
+        assert len(inv.to_indices()) == 0
+
+    def test_double_not_roundtrips(self, cls, nbits):
+        rng = np.random.default_rng(nbits + 1)
+        bools = rng.random(nbits) < 0.3
+        vec = self._vector(cls, bools)
+        assert np.array_equal((~~vec).to_indices(), vec.to_indices())
+
+
+@pytest.mark.parametrize("codec", ["none", "wah", "bbc"])
+@pytest.mark.parametrize("num_records", [31, 32, 33])
+def test_predicate_not_at_word_boundary_matches_oracle(codec, num_records):
+    """End-to-end NOT through a bitmap index on boundary-sized tables."""
+    table = generate_uniform_table(
+        num_records, {"a": 4}, {"a": 0.2}, seed=num_records
+    )
+    index = EqualityEncodedBitmapIndex(table, codec=codec)
+    predicate = Not(Atom.of("a", 2, 3))
+    for semantics in MissingSemantics:
+        got = index.execute_predicate_ids(predicate, semantics)
+        expect = evaluate_predicate(table, predicate, semantics)
+        assert len(got) == 0 or got.max() < num_records
+        assert np.array_equal(got, expect), (codec, num_records, semantics)

@@ -40,6 +40,7 @@ _LITERAL_RE = re.compile(r"(f?)\"([a-z]+(?:\.[a-z0-9_{}]+)+)\"")
 _NAMESPACES = (
     "wah", "bbc", "bitmap", "vafile", "cache", "engine", "planner",
     "shard", "storage", "telemetry", "workload", "serve", "epoch",
+    "semantics",
 )
 
 #: Span-opening calls: their dotted names are span names (documented in

@@ -63,19 +63,50 @@ class TestConstruction:
 
 
 class TestOracleSemantics:
-    def test_not_under_missing_is_match_excludes_missing(self, table):
-        # A missing 'a' matches Atom(a in [2,6]) under IS_MATCH, so it must
-        # NOT match the negation.
+    # NOT negates across the semantics pair (see docs/semantics.md):
+    # a missing value *could* be anything, so it possibly satisfies both
+    # ``p`` and ``not p`` — and certainly satisfies neither.  Earlier
+    # revisions negated within a single semantics, which wrongly put every
+    # missing row in the certain (NOT_MATCH) answer of ``not p``; these
+    # tests pin the corrected rule.
+
+    def test_not_under_missing_is_match_includes_missing(self, table):
+        # possible(not p) = complement of certain(p): a missing 'a' is not
+        # certain to satisfy Atom(a in [2,6]), so it possibly satisfies
+        # the negation.
         predicate = ~Atom.of("a", 2, 6)
         ids = evaluate_predicate(table, predicate, MissingSemantics.IS_MATCH)
         missing_rows = set(np.flatnonzero(table.missing_mask("a")).tolist())
-        assert missing_rows.isdisjoint(ids.tolist())
+        assert missing_rows <= set(ids.tolist())
 
-    def test_not_under_not_match_includes_missing(self, table):
+    def test_not_under_not_match_excludes_missing(self, table):
+        # certain(not p) = complement of possible(p): a missing 'a'
+        # possibly satisfies the atom, so it is never a certain match of
+        # the negation.
         predicate = ~Atom.of("a", 2, 6)
         ids = evaluate_predicate(table, predicate, MissingSemantics.NOT_MATCH)
         missing_rows = set(np.flatnonzero(table.missing_mask("a")).tolist())
-        assert missing_rows <= set(ids.tolist())
+        assert missing_rows.isdisjoint(ids.tolist())
+
+    def test_not_matches_complete_column_complement(self, table):
+        # On rows with 'a' present, NOT is the classic complement under
+        # either semantics.
+        predicate = ~Atom.of("a", 2, 6)
+        column = table.column("a")
+        present = column != 0
+        expect = present & ~((column >= 2) & (column <= 6))
+        for semantics in MissingSemantics:
+            mask = evaluate_predicate_mask(table, predicate, semantics)
+            assert np.array_equal(mask & present, expect)
+
+    def test_double_negation_is_identity(self, table):
+        # With the bound swap, NOT(NOT p) lands back on p's own bound.
+        predicate = Atom.of("a", 2, 6) | ~Atom.of("b", 2, 4)
+        for semantics in MissingSemantics:
+            assert np.array_equal(
+                evaluate_predicate_mask(table, ~~predicate, semantics),
+                evaluate_predicate_mask(table, predicate, semantics),
+            )
 
     def test_disjunction(self, table):
         predicate = Atom.of("a", 1, 2) | Atom.of("a", 9, 10)

@@ -1,0 +1,192 @@
+"""Serving-layer three-valued semantics and /boolean payload hardening."""
+
+import json
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.dataset.synthetic import generate_uniform_table
+from repro.query.model import BOTH
+from repro.serve import QueryService
+from repro.shard import ShardedDatabase
+
+
+def _table(seed=21, n=300):
+    return generate_uniform_table(
+        n, {"a": 9, "b": 4}, {"a": 0.25, "b": 0.1}, seed=seed
+    )
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+@pytest.fixture(scope="module")
+def service():
+    db = ShardedDatabase(_table(), num_shards=2, executor="sequential")
+    db.create_index("ix", "bre")
+    svc = QueryService(database=db).start()
+    yield svc
+    svc.stop()
+
+
+@pytest.fixture(scope="module")
+def reference():
+    db = ShardedDatabase(_table(), num_shards=2, executor="sequential")
+    db.create_index("ix", "bre")
+    yield db
+    db.close()
+
+
+class TestBothSemanticsRoutes:
+    def test_query_both_returns_pair(self, service, reference):
+        status, body = _post(
+            service.url + "/query",
+            {"bounds": {"a": [2, 6]}, "semantics": "both"},
+        )
+        assert status == 200
+        expect = reference.execute({"a": (2, 6)}, BOTH)
+        assert body["semantics"] == "both"
+        assert body["certain_matches"] == expect.num_certain
+        assert body["possible_matches"] == expect.num_possible
+        assert body["certain"]["record_ids"] == [
+            int(i) for i in expect.certain_ids
+        ]
+        assert body["possible"]["record_ids"] == [
+            int(i) for i in expect.possible_ids
+        ]
+
+    def test_count_both_returns_counts_only(self, service):
+        status, body = _post(
+            service.url + "/count",
+            {"bounds": {"a": [2, 6]}, "semantics": "both"},
+        )
+        assert status == 200
+        assert body["certain_matches"] <= body["possible_matches"]
+        assert "certain" not in body and "record_ids" not in body
+
+    def test_batch_both(self, service, reference):
+        status, body = _post(
+            service.url + "/batch",
+            {
+                "queries": [{"a": [2, 6]}, {"b": [1, 2]}],
+                "semantics": "both",
+            },
+        )
+        assert status == 200
+        for result, bounds in zip(
+            body["results"], [{"a": (2, 6)}, {"b": (1, 2)}]
+        ):
+            expect = reference.execute(bounds, BOTH)
+            assert result["certain"]["matches"] == expect.num_certain
+            assert result["possible"]["matches"] == expect.num_possible
+
+    def test_boolean_both_with_not(self, service, reference):
+        from repro.query.boolean import Atom, Not
+
+        predicate = {"not": {"atom": {"attribute": "a", "lo": 2, "hi": 6}}}
+        status, body = _post(
+            service.url + "/boolean",
+            {"predicate": predicate, "semantics": "both"},
+        )
+        assert status == 200
+        expect = reference.query_predicate(Not(Atom.of("a", 2, 6)), BOTH)
+        assert body["certain_matches"] == expect.num_certain
+        assert body["possible_matches"] == expect.num_possible
+
+    def test_explain_both(self, service):
+        status, body = _post(
+            service.url + "/explain",
+            {"bounds": {"a": [2, 6]}, "semantics": "both"},
+        )
+        assert status == 200
+        assert "superset bound" in body["explain"]
+
+    def test_ranked_route(self, service, reference):
+        status, body = _post(
+            service.url + "/ranked",
+            {"bounds": {"a": [2, 6]}, "threshold": 0.2, "limit": 25},
+        )
+        assert status == 200
+        expect = reference.execute_ranked(
+            {"a": (2, 6)}, threshold=0.2, limit=25
+        )
+        assert body["record_ids"] == [int(i) for i in expect.record_ids]
+        assert body["certain_matches"] == expect.num_certain
+        probs = body["probabilities"]
+        assert probs == sorted(probs, reverse=True)
+        assert np.allclose(probs, expect.probabilities, atol=1e-6)
+
+    def test_ranked_bad_threshold_is_400(self, service):
+        status, body = _post(
+            service.url + "/ranked",
+            {"bounds": {"a": [2, 6]}, "threshold": "high"},
+        )
+        assert status == 400
+        assert "threshold" in body["error"]
+
+    def test_unknown_semantics_is_400(self, service):
+        status, body = _post(
+            service.url + "/query",
+            {"bounds": {"a": [2, 6]}, "semantics": "maybe"},
+        )
+        assert status == 400
+        assert "unknown semantics" in body["error"]
+
+
+class TestBooleanPayloadHardening:
+    """Malformed predicate nodes come back 400, naming the node."""
+
+    @pytest.mark.parametrize(
+        "predicate, fragment",
+        [
+            ({"xor": []}, "unknown predicate operator 'xor'"),
+            ({"atom": {"attribute": "a"}}, "'atom'"),  # missing interval
+            ({"and": []}, "'and'"),  # empty children
+            ({"or": []}, "'or'"),
+            ({"atom": {"attribute": 7, "lo": 1}}, "'atom'"),
+            ({"atom": {"attribute": "a", "lo": 5, "hi": 2}}, "'atom'"),
+            ({"atom": [1, 2]}, "'atom'"),
+            ({"not": [1, 2]}, "single-key"),
+            ({"and": [{"atom": {"attribute": "a", "lo": 1}}, {"nor": []}]},
+             "'nor'"),
+        ],
+    )
+    def test_malformed_nodes_rejected(self, service, predicate, fragment):
+        status, body = _post(
+            service.url + "/boolean", {"predicate": predicate}
+        )
+        assert status == 400, body
+        assert fragment in body["error"], body
+
+    def test_non_object_predicate_rejected(self, service):
+        status, body = _post(service.url + "/boolean", {"predicate": "a>3"})
+        assert status == 400
+        assert "single-key" in body["error"]
+
+    def test_valid_predicate_still_works(self, service):
+        status, body = _post(
+            service.url + "/boolean",
+            {
+                "predicate": {
+                    "and": [
+                        {"atom": {"attribute": "a", "lo": 2, "hi": 6}},
+                        {"not": {"atom": {"attribute": "b", "lo": 1}}},
+                    ]
+                }
+            },
+        )
+        assert status == 200
+        assert body["matches"] == len(body["record_ids"])
